@@ -1,0 +1,505 @@
+// Package anubis is a from-scratch implementation of Anubis (Zubair &
+// Awad, ISCA 2019): a secure non-volatile main-memory controller with
+// ultra-low overhead crash recovery of its security metadata.
+//
+// A System encrypts every 64-byte block with counter-mode encryption,
+// protects the encryption counters with an integrity tree (general
+// Bonsai Merkle tree or SGX-style parallelizable tree), persists data
+// and metadata atomically through a Write Pending Queue, and — with the
+// Anubis schemes — shadow-tracks the on-chip metadata caches in NVM so
+// that after a power failure the system recovers in time proportional
+// to the cache size instead of the memory size.
+//
+// Quick start:
+//
+//	sys, _ := anubis.New(anubis.Config{Scheme: anubis.AGITPlus, MemoryBytes: 1 << 24})
+//	sys.WriteBlock(0, data)     // encrypted, integrity-protected, persistent
+//	sys.Crash()                 // power failure: caches and queues are lost
+//	rep, _ := sys.Recover()     // milliseconds-equivalent metadata repair
+//	got, _ := sys.ReadBlock(0)  // verified against the on-chip root
+//
+// Six schemes are available, matching the paper's evaluation: the
+// WriteBack baseline (unrecoverable), Strict persistence, Osiris
+// (counters recoverable; tree rebuild is O(memory) on general trees and
+// impossible on SGX trees), and the Anubis schemes AGITRead, AGITPlus
+// (general tree) and ASIT (SGX tree).
+package anubis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"anubis/internal/memctrl"
+	"anubis/internal/nvm"
+	"anubis/internal/recmodel"
+)
+
+// BlockSize is the protected access granularity in bytes.
+const BlockSize = memctrl.BlockBytes
+
+// Scheme selects the persistence/recovery mechanism.
+type Scheme int
+
+const (
+	// WriteBack is the unprotected-against-crashes baseline.
+	WriteBack Scheme = iota
+	// Strict persists every metadata update immediately (recoverable,
+	// highest overhead).
+	Strict
+	// Osiris adds stop-loss counter persistence; recovery is
+	// whole-memory (hours at TB scale) and only works on general trees.
+	Osiris
+	// AGITRead is Anubis for general integrity trees, tracking metadata
+	// cache fills in shadow tables.
+	AGITRead
+	// AGITPlus tracks only first modifications (the paper's best
+	// general-tree scheme: ~3.4% overhead).
+	AGITPlus
+	// ASIT is Anubis for SGX-style parallelizable trees: the only
+	// practical scheme that makes them recoverable.
+	ASIT
+	// Triad is a Triad-NVM-style baseline (§7's concurrent work):
+	// counters plus the first TriadLevels tree levels persist on every
+	// write; recovery rebuilds only the levels above. The knob trades
+	// run-time overhead for recovery time — but recovery stays
+	// memory-bound, unlike Anubis.
+	Triad
+	// Selective is the selective counter atomicity baseline (HPCA'18):
+	// only a designated persistent region's counters are written
+	// through, recovery rebuilds the whole tree and re-anchors the root.
+	// Relaxed counters open a post-crash replay window (see the tests) —
+	// the weakness that motivated Osiris and Anubis.
+	Selective
+)
+
+func (s Scheme) String() string { return s.internal().String() }
+
+func (s Scheme) internal() memctrl.Scheme {
+	switch s {
+	case WriteBack:
+		return memctrl.SchemeWriteBack
+	case Strict:
+		return memctrl.SchemeStrict
+	case Osiris:
+		return memctrl.SchemeOsiris
+	case AGITRead:
+		return memctrl.SchemeAGITRead
+	case AGITPlus:
+		return memctrl.SchemeAGITPlus
+	case ASIT:
+		return memctrl.SchemeASIT
+	case Selective:
+		return memctrl.SchemeSelective
+	case Triad:
+		return memctrl.SchemeTriad
+	}
+	return memctrl.Scheme(-1)
+}
+
+// TreeKind selects the integrity tree family for the baseline schemes
+// (WriteBack, Strict, Osiris exist in both of the paper's evaluations).
+// AGIT schemes force GeneralTree; ASIT forces SGXTree.
+type TreeKind int
+
+const (
+	// GeneralTree is the non-parallelizable Bonsai Merkle tree.
+	GeneralTree TreeKind = iota
+	// SGXTree is the parallelizable SGX-style nonce tree.
+	SGXTree
+)
+
+// Config parameterizes a System. Zero values take the paper's Table 1
+// defaults (except MemoryBytes, which defaults to 1 GB to keep casual
+// use light; the geometry scales to any multiple of 4 KB).
+type Config struct {
+	Scheme Scheme
+	Tree   TreeKind
+
+	// MemoryBytes is the protected capacity (multiple of 4096).
+	MemoryBytes uint64
+
+	// Cache sizes in bytes (0 = Table 1 defaults: 256 KB counter,
+	// 256 KB tree, 512 KB combined metadata cache).
+	CounterCacheBytes int
+	TreeCacheBytes    int
+	MetaCacheBytes    int
+
+	// StopLoss is the Osiris stop-loss limit (0 = 4).
+	StopLoss int
+
+	// PhaseRecovery selects phase-bit counter recovery (§2.4's data-bus
+	// extension) instead of Osiris ECC trials for the general-tree
+	// schemes: no stop-loss writes at run time, single-trial recovery.
+	PhaseRecovery bool
+
+	// WearLevelingPeriod enables Start-Gap wear leveling of the data
+	// region when positive: the gap line rotates every N data writes,
+	// spreading hot-block wear across the medium. Zero disables it.
+	WearLevelingPeriod int
+
+	// TriadLevels is the Triad scheme's resilience knob: tree levels
+	// persisted on every write.
+	TriadLevels int
+
+	// PersistentBytes bounds the Selective scheme's persistent region
+	// (rounded down to blocks). Zero treats the whole memory as
+	// persistent.
+	PersistentBytes uint64
+}
+
+// System is a secure NVM memory: encrypted, integrity-protected,
+// crash-recoverable per the configured scheme. Not safe for concurrent
+// use.
+type System struct {
+	ctrl   memctrl.Controller
+	scheme Scheme
+}
+
+// ErrUnrecoverable reports that recovery failed verification.
+var ErrUnrecoverable = memctrl.ErrUnrecoverable
+
+// ErrNotRecoverable reports that the scheme has no recovery mechanism.
+var ErrNotRecoverable = memctrl.ErrNotRecoverable
+
+// IsIntegrityViolation reports whether an error came from a failed
+// integrity check (tampering, replay, or inconsistent crash state).
+func IsIntegrityViolation(err error) bool {
+	var ie *memctrl.IntegrityError
+	return errors.As(err, &ie)
+}
+
+// toInternal converts the public configuration to the controller's and
+// resolves the effective tree kind.
+func (cfg Config) toInternal() (memctrl.Config, TreeKind) {
+	mc := memctrl.DefaultConfig(cfg.Scheme.internal())
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 1 << 30
+	}
+	mc.MemoryBytes = cfg.MemoryBytes
+	if cfg.CounterCacheBytes > 0 {
+		mc.CounterCacheBlocks = cfg.CounterCacheBytes / BlockSize
+	}
+	if cfg.TreeCacheBytes > 0 {
+		mc.TreeCacheBlocks = cfg.TreeCacheBytes / BlockSize
+	}
+	if cfg.MetaCacheBytes > 0 {
+		mc.MetaCacheBlocks = cfg.MetaCacheBytes / BlockSize
+	}
+	if cfg.StopLoss > 0 {
+		mc.StopLoss = cfg.StopLoss
+	}
+	if cfg.PhaseRecovery {
+		mc.Recovery = memctrl.RecoveryPhase
+	}
+	mc.WearPeriod = cfg.WearLevelingPeriod
+	mc.PersistentBlocks = cfg.PersistentBytes / BlockSize
+	mc.TriadLevels = cfg.TriadLevels
+
+	tree := cfg.Tree
+	switch cfg.Scheme {
+	case AGITRead, AGITPlus, Selective, Triad:
+		tree = GeneralTree
+	case ASIT:
+		tree = SGXTree
+	}
+	return mc, tree
+}
+
+// New constructs a System over a fresh, zeroed NVM.
+func New(cfg Config) (*System, error) {
+	mc, tree := cfg.toInternal()
+	var (
+		ctrl memctrl.Controller
+		err  error
+	)
+	if tree == SGXTree {
+		ctrl, err = memctrl.NewSGX(mc)
+	} else {
+		ctrl, err = memctrl.NewBonsai(mc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &System{ctrl: ctrl, scheme: cfg.Scheme}, nil
+}
+
+// Scheme returns the configured scheme.
+func (s *System) Scheme() Scheme { return s.scheme }
+
+// NumBlocks returns the number of 64-byte blocks.
+func (s *System) NumBlocks() uint64 { return s.ctrl.NumBlocks() }
+
+// Size returns the protected capacity in bytes.
+func (s *System) Size() uint64 { return s.ctrl.NumBlocks() * BlockSize }
+
+// ReadBlock returns the verified plaintext of block i.
+func (s *System) ReadBlock(i uint64) ([]byte, error) {
+	blk, err := s.ctrl.ReadBlock(i)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, BlockSize)
+	copy(out, blk[:])
+	return out, nil
+}
+
+// WriteBlock encrypts and persists block i. data must be at most
+// BlockSize bytes; shorter slices are zero-padded.
+func (s *System) WriteBlock(i uint64, data []byte) error {
+	if len(data) > BlockSize {
+		return fmt.Errorf("anubis: block write of %d bytes exceeds BlockSize", len(data))
+	}
+	var blk [BlockSize]byte
+	copy(blk[:], data)
+	return s.ctrl.WriteBlock(i, blk)
+}
+
+// ReadRange reads n bytes starting at byte offset off, spanning blocks.
+func (s *System) ReadRange(off uint64, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("anubis: negative length %d", n)
+	}
+	out := make([]byte, 0, n)
+	for n > 0 {
+		blk := off / BlockSize
+		inOff := int(off % BlockSize)
+		take := BlockSize - inOff
+		if take > n {
+			take = n
+		}
+		b, err := s.ReadBlock(blk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b[inOff:inOff+take]...)
+		off += uint64(take)
+		n -= take
+	}
+	return out, nil
+}
+
+// WriteRange writes data at byte offset off, spanning blocks; partial
+// blocks are read-modify-written.
+func (s *System) WriteRange(off uint64, data []byte) error {
+	for len(data) > 0 {
+		blk := off / BlockSize
+		inOff := int(off % BlockSize)
+		take := BlockSize - inOff
+		if take > len(data) {
+			take = len(data)
+		}
+		var buf []byte
+		if inOff == 0 && take == BlockSize {
+			buf = data[:BlockSize]
+		} else {
+			cur, err := s.ReadBlock(blk)
+			if err != nil {
+				return err
+			}
+			copy(cur[inOff:], data[:take])
+			buf = cur
+		}
+		if err := s.WriteBlock(blk, buf); err != nil {
+			return err
+		}
+		off += uint64(take)
+		data = data[take:]
+	}
+	return nil
+}
+
+// Flush writes back all dirty metadata (orderly shutdown).
+func (s *System) Flush() { s.ctrl.FlushCaches() }
+
+// Crash simulates a power failure: all volatile state (metadata caches,
+// uncommitted writes) is lost; NVM, the WPQ, and on-chip persistent
+// registers survive. The System refuses I/O until Recover is called.
+func (s *System) Crash() { s.ctrl.Crash() }
+
+// RecoveryReport describes a completed recovery.
+type RecoveryReport struct {
+	// FetchOps and CryptoOps count the NVM block fetches and hash/
+	// decrypt operations recovery performed.
+	FetchOps  uint64
+	CryptoOps uint64
+	// CountersFixed, NodesRebuilt, EntriesScanned detail the repair.
+	CountersFixed  uint64
+	NodesRebuilt   uint64
+	EntriesScanned uint64
+	// ModeledNS prices the recovery at the paper's 100 ns/op.
+	ModeledNS uint64
+}
+
+// Recover runs the scheme's recovery algorithm after a Crash.
+func (s *System) Recover() (RecoveryReport, error) {
+	rep, err := s.ctrl.Recover()
+	out := RecoveryReport{}
+	if rep != nil {
+		out = RecoveryReport{
+			FetchOps:       rep.FetchOps,
+			CryptoOps:      rep.CryptoOps,
+			CountersFixed:  rep.CountersFixed,
+			NodesRebuilt:   rep.NodesRebuilt,
+			EntriesScanned: rep.EntriesScanned,
+			ModeledNS:      rep.ModeledNS(),
+		}
+	}
+	return out, err
+}
+
+// Stats summarizes run-time activity.
+type Stats struct {
+	ReadRequests   uint64
+	WriteRequests  uint64
+	NVMReads       uint64
+	NVMWrites      uint64
+	ShadowWrites   uint64
+	StopLossWrites uint64
+	ElapsedNS      uint64 // modeled execution time
+}
+
+// Stats returns accumulated statistics.
+func (s *System) Stats() Stats {
+	st := s.ctrl.Stats()
+	return Stats{
+		ReadRequests:   st.ReadRequests,
+		WriteRequests:  st.WriteRequests,
+		NVMReads:       st.NVM.Reads,
+		NVMWrites:      st.NVM.Writes,
+		ShadowWrites:   st.ShadowWrites,
+		StopLossWrites: st.StopLossWrites,
+		ElapsedNS:      s.ctrl.Now(),
+	}
+}
+
+// SaveImage serializes the NVM contents (everything in the persistence
+// domain: data, metadata, shadow tables, on-chip registers, and any
+// committed-but-undrained write group) to w. Call Flush first for a
+// clean image, or save mid-crash to capture a recovery scenario.
+func (s *System) SaveImage(w io.Writer) error {
+	return s.ctrl.Device().Save(w)
+}
+
+// OpenImage restores a System from an image written by SaveImage. The
+// configuration must match the one the image was created with. Recovery
+// runs automatically (the image is by definition post-power-cycle); the
+// report describes the repair work performed.
+func OpenImage(cfg Config, r io.Reader) (*System, RecoveryReport, error) {
+	dev, err := nvm.LoadDevice(r)
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	mc, tree := cfg.toInternal()
+	var ctrl memctrl.Controller
+	if tree == SGXTree {
+		ctrl, err = memctrl.OpenSGX(mc, dev)
+	} else {
+		ctrl, err = memctrl.OpenBonsai(mc, dev)
+	}
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	sys := &System{ctrl: ctrl, scheme: cfg.Scheme}
+	rep, err := sys.Recover()
+	if err != nil {
+		return nil, rep, err
+	}
+	return sys, rep, nil
+}
+
+// AuditReport summarizes a whole-memory integrity audit.
+type AuditReport struct {
+	DataBlocks    uint64
+	CounterBlocks uint64
+	TreeNodes     uint64
+	Violations    []string
+}
+
+// OK reports a fully consistent image.
+func (r AuditReport) OK() bool { return len(r.Violations) == 0 }
+
+// Audit runs a whole-memory integrity check (fsck for secure memory):
+// dirty metadata is flushed, then every data block, counter block, and
+// tree node in NVM is verified against the on-chip roots.
+func (s *System) Audit() (AuditReport, error) {
+	rep, err := s.ctrl.AuditNVM()
+	if err != nil {
+		return AuditReport{}, err
+	}
+	return AuditReport{
+		DataBlocks:    rep.DataBlocks,
+		CounterBlocks: rep.CounterBlocks,
+		TreeNodes:     rep.TreeNodes,
+		Violations:    rep.Violations,
+	}, nil
+}
+
+// TamperData flips bits in the stored ciphertext of a data block,
+// simulating an attacker with physical access to the DIMM. A subsequent
+// ReadBlock must fail with an integrity violation. It reports whether
+// the block existed in NVM.
+func (s *System) TamperData(block uint64, byteIdx int, mask byte) bool {
+	return s.ctrl.Device().CorruptBlock(nvm.RegionData, block, byteIdx, mask)
+}
+
+// TamperCounter flips bits in a stored encryption counter block,
+// simulating metadata tampering. Reads depending on that counter must
+// fail verification once the cached copy is gone.
+func (s *System) TamperCounter(counterBlock uint64, byteIdx int, mask byte) bool {
+	return s.ctrl.Device().CorruptBlock(nvm.RegionCounter, counterBlock, byteIdx, mask)
+}
+
+// ReplayCounter overwrites a counter block in NVM with an earlier
+// snapshot, simulating a replay attack. Use SnapshotCounter to capture
+// the old value.
+func (s *System) ReplayCounter(counterBlock uint64, snapshot [BlockSize]byte) {
+	s.ctrl.Device().WriteRaw(nvm.RegionCounter, counterBlock, snapshot)
+}
+
+// SnapshotCounter captures the current NVM image of a counter block for
+// a later ReplayCounter.
+func (s *System) SnapshotCounter(counterBlock uint64) [BlockSize]byte {
+	return s.ctrl.Device().Read(nvm.RegionCounter, counterBlock)
+}
+
+// CountersPerBlock returns how many data blocks one counter block
+// covers (64 for the general split-counter layout, 8 for SGX-style).
+func (s *System) CountersPerBlock() uint64 {
+	switch s.scheme {
+	case ASIT:
+		return 8
+	default:
+		if _, ok := s.ctrl.(*memctrl.SGX); ok {
+			return 8
+		}
+		return 64
+	}
+}
+
+// EstimateRecoveryNS returns the analytic recovery-time model for a
+// given scheme, memory size, and cache sizes — the numbers behind the
+// paper's Figures 5 and 12 (see internal/recmodel).
+func EstimateRecoveryNS(scheme Scheme, memBytes uint64, counterCacheBytes, treeCacheBytes uint64) uint64 {
+	switch scheme {
+	case Osiris:
+		return recmodel.OsirisFullNS(memBytes, 1.05)
+	case AGITRead, AGITPlus:
+		return recmodel.AGITNS(counterCacheBytes, treeCacheBytes)
+	case ASIT:
+		return recmodel.ASITNS(counterCacheBytes + treeCacheBytes)
+	case Strict:
+		return 0
+	}
+	return 0
+}
+
+// EstimateTriadRecoveryNS returns the analytic recovery time of a
+// Triad-NVM-style scheme that persists `levels` tree levels at run
+// time, for comparison with EstimateRecoveryNS.
+func EstimateTriadRecoveryNS(memBytes uint64, levels int) uint64 {
+	return recmodel.TriadNS(memBytes, levels)
+}
+
+// FormatDuration renders nanoseconds human-readably ("7.8 h", "0.03 s").
+func FormatDuration(ns uint64) string { return recmodel.FormatDuration(ns) }

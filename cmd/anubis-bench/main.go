@@ -1,0 +1,129 @@
+// Command anubis-bench regenerates the paper's evaluation artifacts:
+// Table 1 and Figures 5, 7, 10, 11, 12 and 13, plus the headline
+// recovery comparison.
+//
+// Usage:
+//
+//	anubis-bench -all                 # everything (minutes)
+//	anubis-bench -fig10 -n 40000      # one figure at a given scale
+//	anubis-bench -fig10 -apps mcf,lbm # restrict the benchmark list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"anubis/internal/figures"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every table and figure")
+		table1   = flag.Bool("table1", false, "print Table 1 (system configuration)")
+		fig5     = flag.Bool("fig5", false, "Figure 5: Osiris recovery time vs memory size")
+		fig7     = flag.Bool("fig7", false, "Figure 7: clean counter-cache evictions per app")
+		fig10    = flag.Bool("fig10", false, "Figure 10: AGIT performance")
+		fig11    = flag.Bool("fig11", false, "Figure 11: ASIT performance")
+		fig12    = flag.Bool("fig12", false, "Figure 12: Anubis recovery time vs cache size")
+		fig13    = flag.Bool("fig13", false, "Figure 13: performance sensitivity to cache size")
+		headline = flag.Bool("headline", false, "headline recovery comparison")
+		ablation = flag.Bool("ablations", false, "design-choice ablations (stop-loss, recovery backend, endurance)")
+		n        = flag.Int("n", 40000, "requests per (app, scheme) simulation")
+		mem      = flag.Uint64("mem", 256<<20, "simulated memory bytes for performance runs")
+		apps     = flag.String("apps", "", "comma-separated app subset (default: all 11)")
+		seed     = flag.Int64("seed", 99, "trace generator seed")
+	)
+	flag.Parse()
+
+	rc := figures.DefaultRunConfig()
+	rc.Requests = *n
+	rc.MemoryBytes = *mem
+	rc.Seed = *seed
+	if *apps != "" {
+		rc.Apps = strings.Split(*apps, ",")
+	}
+
+	any := false
+	out := os.Stdout
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "anubis-bench:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table1 {
+		any = true
+		figures.Table1(out)
+		fmt.Fprintln(out)
+	}
+	if *all || *fig5 {
+		any = true
+		figures.PrintFig5(out)
+		fmt.Fprintln(out)
+	}
+	if *all || *fig7 {
+		any = true
+		if err := figures.PrintFig7(out, rc); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if *all || *fig10 {
+		any = true
+		rows, avg, err := figures.Fig10(rc)
+		if err != nil {
+			fail(err)
+		}
+		figures.PrintPerf(out, "Figure 10: AGIT Performance (normalized to write-back)", rows, avg, figures.Fig10Schemes)
+		fmt.Fprintln(out)
+	}
+	if *all || *fig11 {
+		any = true
+		rows, avg, err := figures.Fig11(rc)
+		if err != nil {
+			fail(err)
+		}
+		figures.PrintPerf(out, "Figure 11: ASIT Performance (normalized to write-back)", rows, avg, figures.Fig11Schemes)
+		fmt.Fprintln(out)
+	}
+	if *all || *fig12 {
+		any = true
+		figures.PrintFig12(out)
+		fmt.Fprintln(out)
+	}
+	if *all || *fig13 {
+		any = true
+		if err := figures.PrintFig13(out, rc); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if *all || *ablation {
+		any = true
+		if err := figures.PrintAblationStopLoss(out, rc); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+		if err := figures.PrintAblationRecoveryBackend(out, rc); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+		if err := figures.PrintAblationEndurance(out, rc); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+		if err := figures.PrintAblationTriad(out, rc); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if *all || *headline {
+		any = true
+		figures.PrintHeadline(out)
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,96 @@
+package anubis
+
+import "sync"
+
+// SafeSystem wraps a System with a mutex so multiple goroutines can
+// share one secure memory. The underlying controller models a single
+// memory-controller pipeline, so operations serialize — the wrapper
+// provides safety, not parallel speedup (a real controller's bank
+// parallelism is already modeled inside the timing engine).
+type SafeSystem struct {
+	mu  sync.Mutex
+	sys *System
+}
+
+// NewSafe constructs a thread-safe System.
+func NewSafe(cfg Config) (*SafeSystem, error) {
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SafeSystem{sys: sys}, nil
+}
+
+// Wrap makes an existing System thread-safe. The caller must stop using
+// the unwrapped handle.
+func Wrap(sys *System) *SafeSystem { return &SafeSystem{sys: sys} }
+
+// ReadBlock returns the verified plaintext of block i.
+func (s *SafeSystem) ReadBlock(i uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.ReadBlock(i)
+}
+
+// WriteBlock encrypts and persists block i.
+func (s *SafeSystem) WriteBlock(i uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.WriteBlock(i, data)
+}
+
+// ReadRange reads n bytes at byte offset off.
+func (s *SafeSystem) ReadRange(off uint64, n int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.ReadRange(off, n)
+}
+
+// WriteRange writes data at byte offset off.
+func (s *SafeSystem) WriteRange(off uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.WriteRange(off, data)
+}
+
+// Flush writes back all dirty metadata.
+func (s *SafeSystem) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.Flush()
+}
+
+// Crash simulates a power failure.
+func (s *SafeSystem) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.Crash()
+}
+
+// Recover runs the scheme's recovery algorithm.
+func (s *SafeSystem) Recover() (RecoveryReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Recover()
+}
+
+// Stats returns accumulated statistics.
+func (s *SafeSystem) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Stats()
+}
+
+// Audit runs the whole-memory integrity check.
+func (s *SafeSystem) Audit() (AuditReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Audit()
+}
+
+// NumBlocks returns the number of 64-byte blocks.
+func (s *SafeSystem) NumBlocks() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.NumBlocks()
+}

@@ -1,0 +1,108 @@
+// attacks: demonstrates the threat model (§2.1) — an attacker who can
+// scan NVM, tamper with its contents, or replay old values. Every
+// attack must be detected by the integrity machinery: data MACs, the
+// Merkle tree, and the on-chip root.
+//
+// Run with:
+//
+//	go run ./examples/attacks
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anubis"
+)
+
+func expectViolation(name string, err error) {
+	if err == nil {
+		log.Fatalf("%s: attack went UNDETECTED", name)
+	}
+	if !anubis.IsIntegrityViolation(err) {
+		log.Fatalf("%s: unexpected error class: %v", name, err)
+	}
+	fmt.Printf("  %-28s detected ✓ (%v)\n", name, err)
+}
+
+func freshSystem() *anubis.System {
+	sys, err := anubis.New(anubis.Config{Scheme: anubis.Strict, MemoryBytes: 4 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+func main() {
+	fmt.Println("Threat model: attacker controls the memory bus and the NVM DIMM.")
+	fmt.Println()
+
+	// --- 1. Data tampering -------------------------------------------------
+	fmt.Println("Attack 1: flip a bit in stored ciphertext")
+	sys := freshSystem()
+	if err := sys.WriteBlock(7, []byte("sensitive record")); err != nil {
+		log.Fatal(err)
+	}
+	sys.TamperData(7, 3, 0x10)
+	_, err := sys.ReadBlock(7)
+	expectViolation("ciphertext bit-flip", err)
+
+	// --- 2. Counter tampering ------------------------------------------------
+	fmt.Println("Attack 2: modify an encryption counter in NVM")
+	sys = freshSystem()
+	sys.WriteBlock(7, []byte("sensitive record"))
+	sys.Flush()
+	sys.Crash() // cold caches force re-fetch + verification
+	sys.Recover()
+	sys.TamperCounter(0, 9, 0x01)
+	_, err = sys.ReadBlock(7)
+	expectViolation("counter tampering", err)
+
+	// --- 3. Counter replay ---------------------------------------------------
+	// The classic attack on counter-mode encryption: restore an old
+	// counter so an old ciphertext would decrypt "correctly". The Merkle
+	// tree root pins the counters' freshness.
+	fmt.Println("Attack 3: replay an old counter block")
+	sys = freshSystem()
+	sys.WriteBlock(0, []byte("version 1"))
+	sys.Flush()
+	old := sys.SnapshotCounter(0)
+	for v := 2; v <= 5; v++ {
+		sys.WriteBlock(0, []byte(fmt.Sprintf("version %d", v)))
+	}
+	sys.Flush()
+	sys.Crash()
+	sys.Recover()
+	sys.ReplayCounter(0, old)
+	_, err = sys.ReadBlock(0)
+	expectViolation("counter replay", err)
+
+	// --- 4. Shadow table tampering (ASIT) -------------------------------------
+	// Anubis's own recovery metadata is a target too: ASIT protects the
+	// Shadow Table with SHADOW_TREE_ROOT in an on-chip register.
+	fmt.Println("Attack 4: corrupt the ASIT shadow table before recovery")
+	asys, err := anubis.New(anubis.Config{Scheme: anubis.ASIT, MemoryBytes: 4 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		asys.WriteBlock(i*8, []byte("tracked state"))
+	}
+	asys.Flush()                                // counter blocks now in NVM
+	asys.WriteBlock(3*8, []byte("newer state")) // re-dirty leaf 3: tracked
+	asys.Crash()
+	// Recovery splices the shadow table's counter LSBs onto the stale
+	// in-memory node; flip an MSB of that stale node — the part only the
+	// entry's MAC protects.
+	if !asys.TamperCounter(3, 6, 0x80) {
+		log.Fatal("tamper target missing")
+	}
+	_, err = asys.Recover()
+	if err == nil {
+		log.Fatal("shadow/MSB tampering went undetected")
+	}
+	fmt.Printf("  %-28s detected ✓ (%v)\n", "recovery-path MSB tampering", err)
+
+	fmt.Println()
+	fmt.Println("All attacks detected.")
+}

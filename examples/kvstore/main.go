@@ -1,0 +1,217 @@
+// kvstore: a persistent key-value store on secure NVM — the paper's
+// motivating scenario ("an in-memory database system, where a crash
+// occurs right after a transaction is committed... the whole Merkle
+// Tree must be recovered first to be able to verify integrity before
+// completing any new transactions or enquiries", §1).
+//
+// The store maps fixed-size keys to values in a hash table laid out
+// directly on the protected memory: each 64-byte block holds one
+// record, so every Put is an atomic, encrypted, integrity-protected,
+// persistent transaction. After a crash, the store is usable again the
+// moment Anubis recovery finishes — milliseconds of metadata repair
+// instead of hours of Merkle tree reconstruction.
+//
+// Run with:
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+
+	"anubis"
+)
+
+const (
+	keyBytes   = 20
+	valueBytes = 32
+	// record layout: [1B state][1B keyLen][1B valLen][1B pad]
+	//                [20B key][32B value][8B sequence] = 64B
+	stateEmpty = 0
+	stateLive  = 1
+	stateDead  = 2
+)
+
+// KV is a linear-probing hash table over a secure NVM System.
+type KV struct {
+	mem     *anubis.System
+	buckets uint64
+	seq     uint64
+}
+
+// OpenKV creates (or re-opens after recovery) a store using every block
+// of the system as a bucket.
+func OpenKV(mem *anubis.System) *KV {
+	return &KV{mem: mem, buckets: mem.NumBlocks()}
+}
+
+func (kv *KV) hash(key []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h % kv.buckets
+}
+
+func record(state byte, key, val []byte, seq uint64) []byte {
+	rec := make([]byte, anubis.BlockSize)
+	rec[0] = state
+	rec[1] = byte(len(key))
+	rec[2] = byte(len(val))
+	copy(rec[4:4+keyBytes], key)
+	copy(rec[4+keyBytes:4+keyBytes+valueBytes], val)
+	binary.LittleEndian.PutUint64(rec[4+keyBytes+valueBytes:], seq)
+	return rec
+}
+
+// ErrFull reports an out-of-space store.
+var ErrFull = errors.New("kvstore: table full")
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// probe finds the bucket holding key, or the first free bucket.
+func (kv *KV) probe(key []byte, stopAtFree bool) (uint64, []byte, error) {
+	h := kv.hash(key)
+	for i := uint64(0); i < kv.buckets; i++ {
+		b := (h + i) % kv.buckets
+		rec, err := kv.mem.ReadBlock(b)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch rec[0] {
+		case stateEmpty:
+			if stopAtFree {
+				return b, rec, nil
+			}
+			return 0, nil, ErrNotFound
+		case stateLive:
+			kl := int(rec[1])
+			if kl == len(key) && bytes.Equal(rec[4:4+kl], key) {
+				return b, rec, nil
+			}
+		case stateDead:
+			if stopAtFree {
+				return b, rec, nil
+			}
+		}
+	}
+	return 0, nil, ErrFull
+}
+
+// Put inserts or updates a key. Each Put is one atomic block write:
+// data, encryption counter, Merkle path, and shadow-table updates
+// commit together through the controller's persistent registers.
+func (kv *KV) Put(key, val []byte) error {
+	if len(key) > keyBytes || len(val) > valueBytes {
+		return fmt.Errorf("kvstore: key/value too large")
+	}
+	// Prefer updating an existing live record.
+	b, _, err := kv.probe(key, false)
+	if err != nil {
+		if !errors.Is(err, ErrNotFound) {
+			return err
+		}
+		b, _, err = kv.probe(key, true)
+		if err != nil {
+			return err
+		}
+	}
+	kv.seq++
+	return kv.mem.WriteBlock(b, record(stateLive, key, val, kv.seq))
+}
+
+// Get returns the value for a key.
+func (kv *KV) Get(key []byte) ([]byte, error) {
+	_, rec, err := kv.probe(key, false)
+	if err != nil {
+		return nil, err
+	}
+	return rec[4+keyBytes : 4+keyBytes+int(rec[2])], nil
+}
+
+// Delete removes a key (tombstone).
+func (kv *KV) Delete(key []byte) error {
+	b, rec, err := kv.probe(key, false)
+	if err != nil {
+		return err
+	}
+	rec[0] = stateDead
+	return kv.mem.WriteBlock(b, rec)
+}
+
+func main() {
+	mem, err := anubis.New(anubis.Config{
+		Scheme:      anubis.ASIT, // SGX-style tree: recoverable only with Anubis
+		MemoryBytes: 8 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv := OpenKV(mem)
+
+	fmt.Println("committing 2000 transactions...")
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("user:%05d", i))
+		val := []byte(fmt.Sprintf("balance=%08d", i*37))
+		if err := kv.Put(key, val); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Update and delete some entries so the store has real churn.
+	for i := 0; i < 500; i += 5 {
+		if err := kv.Put([]byte(fmt.Sprintf("user:%05d", i)), []byte("balance=updated!")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 1; i < 200; i += 7 {
+		if err := kv.Delete([]byte(fmt.Sprintf("user:%05d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("power failure right after the last commit!")
+	mem.Crash()
+
+	rep, err := mem.Recover()
+	if err != nil {
+		log.Fatal("recovery failed: ", err)
+	}
+	fmt.Printf("store recovered in %s (modeled): %d shadow entries, %d nodes restored\n",
+		anubis.FormatDuration(rep.ModeledNS), rep.EntriesScanned, rep.NodesRebuilt)
+
+	// Every committed transaction must be intact and verified.
+	kv = OpenKV(mem)
+	checked, missing := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("user:%05d", i))
+		val, err := kv.Get(key)
+		deleted := i >= 1 && i < 200 && (i-1)%7 == 0
+		switch {
+		case deleted:
+			if !errors.Is(err, ErrNotFound) {
+				log.Fatalf("deleted key %s resurfaced: %v", key, err)
+			}
+		case err != nil:
+			missing++
+		default:
+			want := fmt.Sprintf("balance=%08d", i*37)
+			if i < 500 && i%5 == 0 {
+				want = "balance=updated!"
+			}
+			if string(val[:len(want)]) != want {
+				log.Fatalf("key %s corrupted: %q", key, val)
+			}
+			checked++
+		}
+	}
+	if missing > 0 {
+		log.Fatalf("%d committed transactions lost", missing)
+	}
+	fmt.Printf("all %d surviving records verified after crash recovery ✓\n", checked)
+}

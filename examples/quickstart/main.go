@@ -1,0 +1,68 @@
+// Quickstart: create a secure NVM, write data, pull the plug, recover,
+// and read the data back — the core promise of Anubis in a dozen lines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anubis"
+)
+
+func main() {
+	// An AGIT-Plus system: split-counter encryption, Bonsai Merkle tree,
+	// and Anubis shadow-tracking of the metadata caches (the paper's
+	// best general-tree scheme: ~3.4% overhead, ~0.03 s recovery).
+	sys, err := anubis.New(anubis.Config{
+		Scheme:      anubis.AGITPlus,
+		MemoryBytes: 16 << 20, // 16 MB for the demo
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every write is encrypted (counter mode), integrity-protected
+	// (Merkle tree + data MAC + ECC), and atomically persisted together
+	// with its metadata updates.
+	fmt.Println("writing 1000 blocks...")
+	for i := uint64(0); i < 1000; i++ {
+		msg := fmt.Sprintf("record %04d: secure and persistent", i)
+		if err := sys.WriteBlock(i*17%sys.NumBlocks(), []byte(msg)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Power failure: the metadata caches — hundreds of not-yet-persisted
+	// counter and tree updates — are gone. Only NVM, the WPQ, and a few
+	// on-chip persistent registers survive.
+	fmt.Println("power failure!")
+	sys.Crash()
+
+	// Anubis recovery: scan the shadow tables, repair only the tracked
+	// counters (Osiris ECC trials) and tree nodes, verify the root.
+	rep, err := sys.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %d shadow entries scanned, %d counters fixed, %d nodes rebuilt\n",
+		rep.EntriesScanned, rep.CountersFixed, rep.NodesRebuilt)
+	fmt.Printf("modeled recovery time: %s (vs hours for a full-memory rebuild)\n",
+		anubis.FormatDuration(rep.ModeledNS))
+
+	// Everything written before the crash decrypts and verifies.
+	for i := uint64(0); i < 1000; i++ {
+		want := fmt.Sprintf("record %04d: secure and persistent", i)
+		got, err := sys.ReadBlock(i * 17 % sys.NumBlocks())
+		if err != nil {
+			log.Fatalf("block %d: %v", i, err)
+		}
+		if string(got[:len(want)]) != want {
+			log.Fatalf("block %d corrupted", i)
+		}
+	}
+	fmt.Println("all 1000 blocks verified after recovery ✓")
+}

@@ -1,0 +1,3 @@
+module anubis
+
+go 1.22

@@ -1,0 +1,333 @@
+// Package cache implements the on-chip security-metadata caches of a
+// secure memory controller: set-associative, write-back, true-LRU.
+//
+// Two properties matter specifically for Anubis:
+//
+//   - Every cached block occupies a stable slot (set × way) for its whole
+//     residency. The paper's shadow tables (SCT/SMT/ST) mirror the cache's
+//     data array one-to-one, writing the shadow entry at the offset of the
+//     slot the block occupies (Figure 6), so the slot index is part of the
+//     public API.
+//   - MarkDirty reports whether the line was clean before, which is the
+//     trigger event for AGIT-Plus ("track only the first modification").
+//
+// Lines can be pinned to exclude them from victim selection; controllers
+// pin a parent node while recursively fetching further ancestors so that
+// a fill cannot evict a block that is being worked on.
+package cache
+
+import "fmt"
+
+// BlockBytes is the cached block size.
+const BlockBytes = 64
+
+// Line is one cache line. Callers receive pointers to lines on lookup
+// and may mutate Data directly (the cache is the backing store).
+type Line struct {
+	Key   uint64
+	Data  [BlockBytes]byte
+	Valid bool
+	Dirty bool
+
+	lru  uint64
+	pins int
+	slot int
+}
+
+// Slot returns the line's stable slot index in the data array.
+func (l *Line) Slot() int { return l.slot }
+
+// Victim describes an evicted line.
+type Victim struct {
+	Key   uint64
+	Data  [BlockBytes]byte
+	Dirty bool
+	Slot  int
+}
+
+// Stats accumulates cache events. Clean/dirty eviction counts feed the
+// paper's Figure 7.
+type Stats struct {
+	Hits           uint64
+	Misses         uint64
+	Insertions     uint64
+	Evictions      uint64
+	CleanEvictions uint64
+	DirtyEvictions uint64
+	FirstDirties   uint64 // MarkDirty transitions clean->dirty
+}
+
+// Cache is a set-associative write-back cache keyed by 64-bit block
+// addresses. It is not safe for concurrent use.
+type Cache struct {
+	sets  int
+	ways  int
+	lines []Line // sets*ways entries; slot = set*ways + way
+	tick  uint64
+	stats Stats
+}
+
+// New creates a cache with the given total number of blocks and
+// associativity. numBlocks must be a positive multiple of ways and the
+// number of sets must be a power of two (hardware-indexable).
+func New(numBlocks, ways int) *Cache {
+	if numBlocks <= 0 || ways <= 0 || numBlocks%ways != 0 {
+		panic(fmt.Sprintf("cache: invalid geometry %d blocks / %d ways", numBlocks, ways))
+	}
+	sets := numBlocks / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets is not a power of two", sets))
+	}
+	c := &Cache{sets: sets, ways: ways, lines: make([]Line, numBlocks)}
+	for i := range c.lines {
+		c.lines[i].slot = i
+	}
+	return c
+}
+
+// NumSlots returns the total number of lines (the shadow table size).
+func (c *Cache) NumSlots() int { return len(c.lines) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a snapshot of accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// setOf maps a key to its set index. Keys are block addresses (already
+// block-granular), so the low bits index the set directly; a multiplier
+// spreads composite region-tagged keys.
+func (c *Cache) setOf(key uint64) int {
+	return int((key * 0x9e3779b97f4a7c15 >> 17) & uint64(c.sets-1))
+}
+
+func (c *Cache) set(key uint64) []Line {
+	s := c.setOf(key)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup finds a cached block, updating LRU state and hit/miss counters.
+func (c *Cache) Lookup(key uint64) (*Line, bool) {
+	set := c.set(key)
+	for i := range set {
+		if set[i].Valid && set[i].Key == key {
+			c.tick++
+			set[i].lru = c.tick
+			c.stats.Hits++
+			return &set[i], true
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Peek finds a cached block without disturbing LRU state or statistics.
+func (c *Cache) Peek(key uint64) (*Line, bool) {
+	set := c.set(key)
+	for i := range set {
+		if set[i].Valid && set[i].Key == key {
+			return &set[i], true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports whether the key is cached, without side effects.
+func (c *Cache) Contains(key uint64) bool {
+	_, ok := c.Peek(key)
+	return ok
+}
+
+// VictimFor returns the line that Insert(key, …) would evict: the LRU
+// unpinned valid line of the key's set, or nil if a free (or invalid)
+// way exists. It panics if key is already present.
+func (c *Cache) VictimFor(key uint64) *Line {
+	set := c.set(key)
+	var victim *Line
+	for i := range set {
+		l := &set[i]
+		if l.Valid && l.Key == key {
+			panic("cache: VictimFor on resident key")
+		}
+		if !l.Valid {
+			return nil
+		}
+		if l.pins > 0 {
+			continue
+		}
+		if victim == nil || l.lru < victim.lru {
+			victim = l
+		}
+	}
+	if victim == nil {
+		panic("cache: all ways pinned; associativity too small for the working path")
+	}
+	return victim
+}
+
+// Insert places a new block in the cache, evicting the LRU unpinned line
+// of the set if necessary. It returns the line now holding the block and
+// the victim (nil if no valid line was displaced). The new line is
+// inserted clean and unpinned. Insert panics if key is already resident;
+// use Lookup first.
+func (c *Cache) Insert(key uint64, data [BlockBytes]byte) (*Line, *Victim) {
+	set := c.set(key)
+	var target *Line
+	for i := range set {
+		l := &set[i]
+		if l.Valid && l.Key == key {
+			panic("cache: Insert of resident key")
+		}
+		if !l.Valid {
+			target = l
+			break
+		}
+	}
+	var victim *Victim
+	if target == nil {
+		vl := c.VictimFor(key) // cannot be nil: no invalid way found
+		victim = &Victim{Key: vl.Key, Data: vl.Data, Dirty: vl.Dirty, Slot: vl.slot}
+		c.stats.Evictions++
+		if vl.Dirty {
+			c.stats.DirtyEvictions++
+		} else {
+			c.stats.CleanEvictions++
+		}
+		target = vl
+	}
+	c.tick++
+	target.Key = key
+	target.Data = data
+	target.Valid = true
+	target.Dirty = false
+	target.pins = 0
+	target.lru = c.tick
+	c.stats.Insertions++
+	return target, victim
+}
+
+// InsertAtSlot places a block into a specific (free) slot. Recovery
+// uses it to reinstall blocks in exactly the slots the shadow table
+// mirrors; a block inserted elsewhere would desynchronize future shadow
+// writes from the table. It panics if the slot is occupied, the key is
+// already resident, or the slot does not belong to the key's set.
+func (c *Cache) InsertAtSlot(slot int, key uint64, data [BlockBytes]byte) *Line {
+	if slot < 0 || slot >= len(c.lines) {
+		panic("cache: InsertAtSlot out of range")
+	}
+	if c.setOf(key) != slot/c.ways {
+		panic("cache: InsertAtSlot set mismatch")
+	}
+	if _, ok := c.Peek(key); ok {
+		panic("cache: InsertAtSlot of resident key")
+	}
+	l := &c.lines[slot]
+	if l.Valid {
+		panic("cache: InsertAtSlot into occupied slot")
+	}
+	c.tick++
+	l.Key = key
+	l.Data = data
+	l.Valid = true
+	l.Dirty = false
+	l.pins = 0
+	l.lru = c.tick
+	c.stats.Insertions++
+	return l
+}
+
+// MarkDirty marks a resident block dirty and reports whether this is its
+// first dirtying since insertion (the AGIT-Plus tracking trigger). It
+// panics if the key is not resident.
+func (c *Cache) MarkDirty(key uint64) (first bool) {
+	l, ok := c.Peek(key)
+	if !ok {
+		panic("cache: MarkDirty on absent key")
+	}
+	first = !l.Dirty
+	l.Dirty = true
+	if first {
+		c.stats.FirstDirties++
+	}
+	return first
+}
+
+// Pin increments a resident line's pin count, excluding it from victim
+// selection. It panics if the key is not resident.
+func (c *Cache) Pin(key uint64) {
+	l, ok := c.Peek(key)
+	if !ok {
+		panic("cache: Pin on absent key")
+	}
+	l.pins++
+}
+
+// Unpin decrements a line's pin count. It panics on unbalanced unpins or
+// absent keys.
+func (c *Cache) Unpin(key uint64) {
+	l, ok := c.Peek(key)
+	if !ok {
+		panic("cache: Unpin on absent key")
+	}
+	if l.pins == 0 {
+		panic("cache: unbalanced Unpin")
+	}
+	l.pins--
+}
+
+// Invalidate removes a block without writeback, returning whether it was
+// present. Used when a block's home region is rewritten out of band.
+func (c *Cache) Invalidate(key uint64) bool {
+	l, ok := c.Peek(key)
+	if !ok {
+		return false
+	}
+	l.Valid = false
+	l.Dirty = false
+	l.pins = 0
+	return true
+}
+
+// FlushAll invokes fn for every dirty line (in slot order) and marks it
+// clean. Used for orderly shutdown.
+func (c *Cache) FlushAll(fn func(key uint64, data [BlockBytes]byte)) {
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.Valid && l.Dirty {
+			fn(l.Key, l.Data)
+			l.Dirty = false
+		}
+	}
+}
+
+// DropAll discards every line without writeback: the power-failure
+// semantics of a volatile cache.
+func (c *Cache) DropAll() {
+	for i := range c.lines {
+		c.lines[i] = Line{slot: i}
+	}
+}
+
+// Iterate calls fn for every valid line in slot order; fn may mutate the
+// line's Data.
+func (c *Cache) Iterate(fn func(l *Line)) {
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+// DirtyCount returns the number of dirty resident lines.
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid && c.lines[i].Dirty {
+			n++
+		}
+	}
+	return n
+}

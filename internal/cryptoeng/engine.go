@@ -1,0 +1,204 @@
+// Package cryptoeng implements the cryptographic engine of a secure
+// memory controller: counter-mode (OTP) encryption of 64-byte memory
+// blocks, the Bonsai data MAC, the 64-bit hash used by general Merkle
+// trees, and the 56-bit MAC used by SGX-style parallelizable trees.
+//
+// The constructions mirror the ones assumed by the paper (and by secure
+// processors generally):
+//
+//   - Encryption is counter mode: a one-time pad is derived from an IV
+//     built from the block address and its (spatially and temporally
+//     unique) encryption counter, then XORed with the plaintext. Pad
+//     generation can overlap the data fetch, which is why secure
+//     processors use it; here it matters because the *counter value*
+//     fully determines decryption, the property Osiris recovery exploits.
+//   - The Bonsai data MAC is computed over (ciphertext address, counter,
+//     data) and protects data integrity while the Merkle tree only covers
+//     counters.
+//   - Tree hashes are truncated so that eight of them pack into one
+//     64-byte node (8-ary trees), exactly as in the paper's Figure 2.
+//
+// All primitives come from the Go standard library (AES, SHA-256, HMAC).
+package cryptoeng
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// BlockBytes is the memory block (cache line) size.
+const BlockBytes = 64
+
+// TreeHashBytes is the size of one general-tree hash entry; eight such
+// entries form one 64-byte Merkle tree node.
+const TreeHashBytes = 8
+
+// SGXMACBits is the width of the MAC embedded in SGX-style counter and
+// tree blocks (Figure 3 of the paper; 56-bit as in Intel's MEE).
+const SGXMACBits = 56
+
+// Engine holds the processor-resident secrets and implements every
+// cryptographic operation the memory controller needs. An Engine is
+// safe for concurrent use after construction.
+type Engine struct {
+	aead   cipher.Block // AES-128 block cipher for OTP generation
+	macKey [32]byte     // HMAC key for data MACs and SGX MACs
+}
+
+// NewEngine derives an engine from a 16-byte processor key and a 32-byte
+// MAC key. In a real processor these are fused or generated at boot and
+// never leave the chip.
+func NewEngine(aesKey [16]byte, macKey [32]byte) *Engine {
+	blk, err := aes.NewCipher(aesKey[:])
+	if err != nil {
+		// aes.NewCipher only fails on invalid key sizes, which the
+		// fixed-size parameter rules out.
+		panic("cryptoeng: " + err.Error())
+	}
+	return &Engine{aead: blk, macKey: macKey}
+}
+
+// NewTestEngine returns an engine with fixed keys, for tests and
+// examples where key management is irrelevant.
+func NewTestEngine() *Engine {
+	var aesKey [16]byte
+	var macKey [32]byte
+	for i := range aesKey {
+		aesKey[i] = byte(i + 1)
+	}
+	for i := range macKey {
+		macKey[i] = byte(0xA0 + i)
+	}
+	return NewEngine(aesKey, macKey)
+}
+
+// pad computes the 64-byte one-time pad for (address, counter).
+// The IV of AES block i is (address, counter, i): spatial uniqueness via
+// the address, temporal uniqueness via the counter.
+func (e *Engine) pad(addr, counter uint64, out *[BlockBytes]byte) {
+	var iv [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(iv[0:8], addr)
+	for i := 0; i < BlockBytes/aes.BlockSize; i++ {
+		binary.LittleEndian.PutUint64(iv[8:16], counter<<2|uint64(i))
+		e.aead.Encrypt(out[i*aes.BlockSize:(i+1)*aes.BlockSize], iv[:])
+	}
+}
+
+// Encrypt XORs a 64-byte plaintext with the OTP for (addr, counter),
+// returning the ciphertext. Decryption is the same operation.
+func (e *Engine) Encrypt(addr, counter uint64, plaintext []byte) []byte {
+	if len(plaintext) != BlockBytes {
+		panic("cryptoeng: Encrypt needs a 64-byte block")
+	}
+	var p [BlockBytes]byte
+	e.pad(addr, counter, &p)
+	out := make([]byte, BlockBytes)
+	for i := range out {
+		out[i] = plaintext[i] ^ p[i]
+	}
+	return out
+}
+
+// Decrypt is counter-mode decryption: identical to Encrypt.
+func (e *Engine) Decrypt(addr, counter uint64, ciphertext []byte) []byte {
+	return e.Encrypt(addr, counter, ciphertext)
+}
+
+// XorInPlace applies the OTP for (addr, counter) to buf in place,
+// avoiding the allocation of Encrypt. buf must be 64 bytes.
+func (e *Engine) XorInPlace(addr, counter uint64, buf []byte) {
+	if len(buf) != BlockBytes {
+		panic("cryptoeng: XorInPlace needs a 64-byte block")
+	}
+	var p [BlockBytes]byte
+	e.pad(addr, counter, &p)
+	for i := range buf {
+		buf[i] ^= p[i]
+	}
+}
+
+// DataMAC computes the 64-bit Bonsai data MAC over (addr, counter, data).
+// Together with a Merkle tree over the counters this yields Bonsai
+// Merkle Tree protection (Rogers et al., MICRO 2007).
+func (e *Engine) DataMAC(addr, counter uint64, data []byte) uint64 {
+	if len(data) != BlockBytes {
+		panic("cryptoeng: DataMAC needs a 64-byte block")
+	}
+	mac := hmac.New(sha256.New, e.macKey[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], addr)
+	binary.LittleEndian.PutUint64(hdr[8:16], counter)
+	mac.Write(hdr[:])
+	mac.Write(data)
+	return binary.LittleEndian.Uint64(mac.Sum(nil)[:8])
+}
+
+// TreeHash computes the 64-bit hash of a child node stored in its parent
+// general-tree node. The node address is mixed in so identical contents
+// at different tree positions hash differently.
+func (e *Engine) TreeHash(nodeAddr uint64, node []byte) uint64 {
+	if len(node) != BlockBytes {
+		panic("cryptoeng: TreeHash needs a 64-byte node")
+	}
+	h := sha256.New()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], nodeAddr)
+	h.Write(hdr[:])
+	h.Write(node)
+	return binary.LittleEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// STMAC computes the 56-bit MAC stored in an ASIT shadow-table entry
+// (Figure 9b): it covers the tracked node's address and its full
+// (updated) counter values. Unlike the in-NVM node MAC it does not bind
+// the parent counter — the shadow table's own integrity tree
+// (SHADOW_TREE_ROOT) provides freshness, and covering the complete
+// counters (MSBs included) is what lets recovery detect tampering with
+// the stale in-memory copy the LSBs are spliced onto.
+func (e *Engine) STMAC(nodeAddr uint64, counters []uint64) uint64 {
+	mac := hmac.New(sha256.New, e.macKey[:])
+	var buf [8]byte
+	mac.Write([]byte("anubis-st-entry"))
+	binary.LittleEndian.PutUint64(buf[:], nodeAddr)
+	mac.Write(buf[:])
+	for _, c := range counters {
+		binary.LittleEndian.PutUint64(buf[:], c)
+		mac.Write(buf[:])
+	}
+	return binary.LittleEndian.Uint64(mac.Sum(nil)[:8]) & (1<<SGXMACBits - 1)
+}
+
+// ContentHash computes the 64-bit hash of a 64-byte node used by
+// general (non-parallelizable) Merkle trees. It is content-only —
+// position binding comes from the tree structure itself (a child's hash
+// is stored at its slot in the parent), which keeps all same-content
+// nodes identical and makes the zero-initialized tree computable in
+// O(depth) instead of O(nodes).
+func (e *Engine) ContentHash(node []byte) uint64 {
+	if len(node) != BlockBytes {
+		panic("cryptoeng: ContentHash needs a 64-byte node")
+	}
+	h := sha256.Sum256(node)
+	return binary.LittleEndian.Uint64(h[:8])
+}
+
+// SGXMAC computes the 56-bit MAC embedded in an SGX-style block: it
+// covers the block's own counters (nonces), the counter in the parent
+// block that versions this node, and the node address. The result fits
+// in the low 56 bits of the returned value.
+func (e *Engine) SGXMAC(nodeAddr uint64, counters []uint64, parentCounter uint64) uint64 {
+	mac := hmac.New(sha256.New, e.macKey[:])
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], nodeAddr)
+	mac.Write(buf[:])
+	for _, c := range counters {
+		binary.LittleEndian.PutUint64(buf[:], c)
+		mac.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], parentCounter)
+	mac.Write(buf[:])
+	return binary.LittleEndian.Uint64(mac.Sum(nil)[:8]) & (1<<SGXMACBits - 1)
+}

@@ -1,0 +1,206 @@
+package cryptoeng
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testBlock(seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, BlockBytes)
+	rng.Read(b)
+	return b
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	e := NewTestEngine()
+	f := func(addr, counter uint64, seed int64) bool {
+		pt := testBlock(seed)
+		ct := e.Encrypt(addr, counter, pt)
+		return bytes.Equal(e.Decrypt(addr, counter, ct), pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	e := NewTestEngine()
+	pt := testBlock(1)
+	ct := e.Encrypt(42, 7, pt)
+	if bytes.Equal(ct, pt) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+}
+
+func TestSpatialUniqueness(t *testing.T) {
+	// Same plaintext and counter at two addresses must encrypt differently.
+	e := NewTestEngine()
+	pt := testBlock(2)
+	if bytes.Equal(e.Encrypt(1, 5, pt), e.Encrypt(2, 5, pt)) {
+		t.Fatal("pads collide across addresses")
+	}
+}
+
+func TestTemporalUniqueness(t *testing.T) {
+	// Same plaintext and address with two counters must encrypt differently.
+	e := NewTestEngine()
+	pt := testBlock(3)
+	if bytes.Equal(e.Encrypt(9, 1, pt), e.Encrypt(9, 2, pt)) {
+		t.Fatal("pads collide across counter values")
+	}
+}
+
+func TestWrongCounterGarbles(t *testing.T) {
+	e := NewTestEngine()
+	pt := testBlock(4)
+	ct := e.Encrypt(100, 10, pt)
+	if bytes.Equal(e.Decrypt(100, 11, ct), pt) {
+		t.Fatal("decryption with the wrong counter recovered plaintext")
+	}
+}
+
+func TestXorInPlaceMatchesEncrypt(t *testing.T) {
+	e := NewTestEngine()
+	pt := testBlock(5)
+	want := e.Encrypt(77, 3, pt)
+	buf := make([]byte, BlockBytes)
+	copy(buf, pt)
+	e.XorInPlace(77, 3, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("XorInPlace disagrees with Encrypt")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	var k1, k2 [16]byte
+	var mk [32]byte
+	k2[0] = 1
+	e1 := NewEngine(k1, mk)
+	e2 := NewEngine(k2, mk)
+	pt := testBlock(6)
+	if bytes.Equal(e1.Encrypt(0, 0, pt), e2.Encrypt(0, 0, pt)) {
+		t.Fatal("different AES keys produced identical ciphertext")
+	}
+}
+
+func TestDataMACDetectsTampering(t *testing.T) {
+	e := NewTestEngine()
+	data := testBlock(7)
+	mac := e.DataMAC(5, 9, data)
+	if e.DataMAC(5, 9, data) != mac {
+		t.Fatal("DataMAC not deterministic")
+	}
+	if e.DataMAC(6, 9, data) == mac {
+		t.Fatal("DataMAC ignores address")
+	}
+	if e.DataMAC(5, 10, data) == mac {
+		t.Fatal("DataMAC ignores counter")
+	}
+	data[0] ^= 1
+	if e.DataMAC(5, 9, data) == mac {
+		t.Fatal("DataMAC ignores data")
+	}
+}
+
+func TestDataMACKeyed(t *testing.T) {
+	var ak [16]byte
+	var mk1, mk2 [32]byte
+	mk2[0] = 1
+	data := testBlock(8)
+	if NewEngine(ak, mk1).DataMAC(1, 1, data) == NewEngine(ak, mk2).DataMAC(1, 1, data) {
+		t.Fatal("DataMAC independent of key")
+	}
+}
+
+func TestTreeHashProperties(t *testing.T) {
+	e := NewTestEngine()
+	node := testBlock(9)
+	h := e.TreeHash(3, node)
+	if e.TreeHash(3, node) != h {
+		t.Fatal("TreeHash not deterministic")
+	}
+	if e.TreeHash(4, node) == h {
+		t.Fatal("TreeHash ignores node address")
+	}
+	node[63] ^= 0x80
+	if e.TreeHash(3, node) == h {
+		t.Fatal("TreeHash ignores contents")
+	}
+}
+
+func TestSGXMACWidth(t *testing.T) {
+	e := NewTestEngine()
+	f := func(addr, c0, c1, pc uint64) bool {
+		m := e.SGXMAC(addr, []uint64{c0, c1}, pc)
+		return m>>SGXMACBits == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSGXMACBindsEverything(t *testing.T) {
+	e := NewTestEngine()
+	ctrs := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	m := e.SGXMAC(10, ctrs, 99)
+	if e.SGXMAC(11, ctrs, 99) == m {
+		t.Fatal("SGXMAC ignores node address")
+	}
+	if e.SGXMAC(10, ctrs, 100) == m {
+		t.Fatal("SGXMAC ignores parent counter — inter-level binding broken")
+	}
+	ctrs[3]++
+	if e.SGXMAC(10, ctrs, 99) == m {
+		t.Fatal("SGXMAC ignores the node's own counters")
+	}
+}
+
+func TestPanicsOnWrongSizes(t *testing.T) {
+	e := NewTestEngine()
+	short := make([]byte, 10)
+	for name, fn := range map[string]func(){
+		"Encrypt":    func() { e.Encrypt(0, 0, short) },
+		"XorInPlace": func() { e.XorInPlace(0, 0, short) },
+		"DataMAC":    func() { e.DataMAC(0, 0, short) },
+		"TreeHash":   func() { e.TreeHash(0, short) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic on short block", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkEncryptBlock(b *testing.B) {
+	e := NewTestEngine()
+	pt := testBlock(10)
+	b.SetBytes(BlockBytes)
+	for i := 0; i < b.N; i++ {
+		e.XorInPlace(uint64(i), uint64(i), pt)
+	}
+}
+
+func BenchmarkDataMAC(b *testing.B) {
+	e := NewTestEngine()
+	data := testBlock(11)
+	b.SetBytes(BlockBytes)
+	for i := 0; i < b.N; i++ {
+		e.DataMAC(uint64(i), 1, data)
+	}
+}
+
+func BenchmarkTreeHash(b *testing.B) {
+	e := NewTestEngine()
+	node := testBlock(12)
+	b.SetBytes(BlockBytes)
+	for i := 0; i < b.N; i++ {
+		e.TreeHash(uint64(i), node)
+	}
+}

@@ -1,0 +1,207 @@
+// Package ecc implements the (72,64) Hamming SECDED code used by ECC
+// DIMMs: 8 check bits per 64-bit word, able to correct any single-bit
+// error and detect any double-bit error.
+//
+// Osiris-style counter recovery (Ye et al., MICRO 2018) relies on ECC
+// bits that are encrypted together with the data: decrypting a block
+// with a wrong counter candidate yields pseudo-random plaintext whose
+// ECC check fails with overwhelming probability, so the ECC acts as a
+// sanity check identifying the counter that was actually used for
+// encryption. This package provides that discriminator for the Anubis
+// and Osiris recovery paths.
+package ecc
+
+import "encoding/binary"
+
+// WordBytes is the protected word size in bytes (64 data bits).
+const WordBytes = 8
+
+// BlockBytes is the memory block granularity protected by BlockECC.
+const BlockBytes = 64
+
+// WordsPerBlock is the number of ECC words in one memory block.
+const WordsPerBlock = BlockBytes / WordBytes
+
+// Codeword layout: 72 bit positions indexed 0..71.
+// Position 0 holds the overall (SECDED) parity; positions 1,2,4,8,16,32,64
+// hold the Hamming parity bits; the remaining 64 positions hold data bits
+// in increasing position order.
+
+// parityPositions lists the Hamming parity bit positions.
+var parityPositions = [7]uint{1, 2, 4, 8, 16, 32, 64}
+
+// dataPositions[i] is the codeword position of data bit i.
+var dataPositions [64]uint
+
+// positionOfData maps a codeword position to its data bit index, or -1.
+var positionOfData [72]int
+
+func init() {
+	for i := range positionOfData {
+		positionOfData[i] = -1
+	}
+	di := 0
+	for pos := uint(1); pos < 72; pos++ {
+		if pos&(pos-1) == 0 { // power of two: parity position
+			continue
+		}
+		dataPositions[di] = pos
+		positionOfData[pos] = di
+		di++
+	}
+	if di != 64 {
+		panic("ecc: internal layout error")
+	}
+}
+
+// CheckResult classifies the outcome of a SECDED check.
+type CheckResult int
+
+const (
+	// OK means the codeword is consistent.
+	OK CheckResult = iota
+	// CorrectedData means a single-bit error in the data was corrected.
+	CorrectedData
+	// CorrectedECC means a single-bit error in the check bits was corrected.
+	CorrectedECC
+	// Uncorrectable means a multi-bit error was detected.
+	Uncorrectable
+)
+
+func (r CheckResult) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case CorrectedData:
+		return "corrected-data"
+	case CorrectedECC:
+		return "corrected-ecc"
+	case Uncorrectable:
+		return "uncorrectable"
+	}
+	return "unknown"
+}
+
+// Encode computes the 8 check bits for a 64-bit word.
+//
+// Bit i (0..6) of the result is the Hamming parity for position 2^i;
+// bit 7 is the overall parity over all 72 codeword bits.
+func Encode(word uint64) uint8 {
+	var ecc uint8
+	for pi, pp := range parityPositions {
+		var p uint
+		for di := 0; di < 64; di++ {
+			if dataPositions[di]&pp != 0 {
+				p ^= uint(word>>uint(di)) & 1
+			}
+		}
+		ecc |= uint8(p) << uint(pi)
+	}
+	// Overall parity covers every codeword bit including the seven
+	// Hamming parities, so that a flipped parity bit is also caught.
+	var all uint
+	for di := 0; di < 64; di++ {
+		all ^= uint(word>>uint(di)) & 1
+	}
+	for pi := 0; pi < 7; pi++ {
+		all ^= uint(ecc>>uint(pi)) & 1
+	}
+	ecc |= uint8(all) << 7
+	return ecc
+}
+
+// Check verifies a (word, ecc) pair without attempting correction.
+// It returns true iff the pair is a valid codeword with no error.
+func Check(word uint64, ecc uint8) bool {
+	return Encode(word) == ecc
+}
+
+// Correct verifies a (word, ecc) pair, correcting a single-bit error if
+// present. It returns the (possibly corrected) word and the check result.
+func Correct(word uint64, ecc uint8) (uint64, CheckResult) {
+	expect := Encode(word)
+	if expect == ecc {
+		return word, OK
+	}
+	// Syndrome: recomputed Hamming parities of the received data vs the
+	// received parity bits.
+	syndrome := uint((expect ^ ecc) & 0x7f)
+	// Overall parity is evaluated over the *received* codeword (data bits
+	// plus all eight received check bits); a valid or double-error word
+	// has even parity, any single-bit error has odd parity.
+	var overall uint
+	for di := 0; di < 64; di++ {
+		overall ^= uint(word>>uint(di)) & 1
+	}
+	for pi := 0; pi < 8; pi++ {
+		overall ^= uint(ecc>>uint(pi)) & 1
+	}
+	overallMismatch := overall != 0
+	switch {
+	case syndrome == 0 && overallMismatch:
+		// Only the overall parity bit itself flipped.
+		return word, CorrectedECC
+	case syndrome != 0 && overallMismatch:
+		// Single-bit error at codeword position = syndrome.
+		if syndrome >= 72 {
+			return word, Uncorrectable
+		}
+		if di := positionOfData[syndrome]; di >= 0 {
+			return word ^ (1 << uint(di)), CorrectedData
+		}
+		// The error hit one of the parity positions.
+		return word, CorrectedECC
+	default:
+		// syndrome != 0 with matching overall parity: double error.
+		return word, Uncorrectable
+	}
+}
+
+// EncodeBlock computes the 8 ECC bytes protecting a 64-byte block,
+// one SECDED byte per 64-bit little-endian word.
+// It panics if block is not exactly BlockBytes long.
+func EncodeBlock(block []byte) [WordsPerBlock]uint8 {
+	if len(block) != BlockBytes {
+		panic("ecc: EncodeBlock needs a 64-byte block")
+	}
+	var out [WordsPerBlock]uint8
+	for w := 0; w < WordsPerBlock; w++ {
+		out[w] = Encode(binary.LittleEndian.Uint64(block[w*WordBytes:]))
+	}
+	return out
+}
+
+// CheckBlock reports whether every word of a 64-byte block is consistent
+// with its ECC byte. This is the Osiris sanity check: a block decrypted
+// with the wrong counter fails with probability ~1-2^-56 per word.
+func CheckBlock(block []byte, ecc [WordsPerBlock]uint8) bool {
+	if len(block) != BlockBytes {
+		panic("ecc: CheckBlock needs a 64-byte block")
+	}
+	for w := 0; w < WordsPerBlock; w++ {
+		if !Check(binary.LittleEndian.Uint64(block[w*WordBytes:]), ecc[w]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CorrectBlock corrects up to one flipped bit per word in place and
+// returns the worst CheckResult observed across the block.
+func CorrectBlock(block []byte, ecc [WordsPerBlock]uint8) CheckResult {
+	if len(block) != BlockBytes {
+		panic("ecc: CorrectBlock needs a 64-byte block")
+	}
+	worst := OK
+	for w := 0; w < WordsPerBlock; w++ {
+		word := binary.LittleEndian.Uint64(block[w*WordBytes:])
+		fixed, res := Correct(word, ecc[w])
+		if fixed != word {
+			binary.LittleEndian.PutUint64(block[w*WordBytes:], fixed)
+		}
+		if res > worst {
+			worst = res
+		}
+	}
+	return worst
+}

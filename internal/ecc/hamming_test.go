@@ -1,0 +1,227 @@
+package ecc
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDeterministic(t *testing.T) {
+	if Encode(0) != Encode(0) {
+		t.Fatal("Encode is not deterministic")
+	}
+	// The all-zero word must encode to all-zero check bits (linear code).
+	if got := Encode(0); got != 0 {
+		t.Fatalf("Encode(0) = %#x, want 0", got)
+	}
+}
+
+func TestCheckRoundTrip(t *testing.T) {
+	f := func(word uint64) bool {
+		return Check(word, Encode(word))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrectNoError(t *testing.T) {
+	f := func(word uint64) bool {
+		got, res := Correct(word, Encode(word))
+		return got == word && res == OK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorrectSingleDataBit flips each of the 64 data bits in turn and
+// checks that Correct restores the original word.
+func TestCorrectSingleDataBit(t *testing.T) {
+	words := []uint64{0, ^uint64(0), 0xdeadbeefcafebabe, 1, 1 << 63}
+	for _, w := range words {
+		ecc := Encode(w)
+		for bit := 0; bit < 64; bit++ {
+			corrupt := w ^ (1 << uint(bit))
+			got, res := Correct(corrupt, ecc)
+			if res != CorrectedData {
+				t.Fatalf("word %#x bit %d: result %v, want CorrectedData", w, bit, res)
+			}
+			if got != w {
+				t.Fatalf("word %#x bit %d: corrected to %#x", w, bit, got)
+			}
+		}
+	}
+}
+
+// TestCorrectSingleECCBit flips each check bit and verifies the data word
+// is reported intact.
+func TestCorrectSingleECCBit(t *testing.T) {
+	w := uint64(0x0123456789abcdef)
+	ecc := Encode(w)
+	for bit := 0; bit < 8; bit++ {
+		got, res := Correct(w, ecc^(1<<uint(bit)))
+		if res != CorrectedECC {
+			t.Fatalf("ecc bit %d: result %v, want CorrectedECC", bit, res)
+		}
+		if got != w {
+			t.Fatalf("ecc bit %d: word changed to %#x", bit, got)
+		}
+	}
+}
+
+// TestDetectDoubleBit flips every pair of data bits and verifies the code
+// never silently mis-corrects: it must report Uncorrectable.
+func TestDetectDoubleBit(t *testing.T) {
+	w := uint64(0xfeedface0badf00d)
+	ecc := Encode(w)
+	for i := 0; i < 64; i++ {
+		for j := i + 1; j < 64; j++ {
+			corrupt := w ^ (1 << uint(i)) ^ (1 << uint(j))
+			_, res := Correct(corrupt, ecc)
+			if res != Uncorrectable {
+				t.Fatalf("bits %d,%d: result %v, want Uncorrectable", i, j, res)
+			}
+		}
+	}
+}
+
+// TestDoubleBitMixed flips one data bit and one ECC bit.
+func TestDoubleBitMixed(t *testing.T) {
+	w := uint64(0x5555aaaa5555aaaa)
+	ecc := Encode(w)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 8; j++ {
+			_, res := Correct(w^(1<<uint(i)), ecc^(1<<uint(j)))
+			if res == OK {
+				t.Fatalf("data bit %d + ecc bit %d: undetected", i, j)
+			}
+		}
+	}
+}
+
+func TestQuickSingleBitProperty(t *testing.T) {
+	f := func(word uint64, bitSeed uint8) bool {
+		bit := uint(bitSeed) % 64
+		ecc := Encode(word)
+		got, res := Correct(word^(1<<bit), ecc)
+		return got == word && res == CorrectedData
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	block := make([]byte, BlockBytes)
+	for trial := 0; trial < 100; trial++ {
+		rng.Read(block)
+		ecc := EncodeBlock(block)
+		if !CheckBlock(block, ecc) {
+			t.Fatalf("trial %d: clean block fails check", trial)
+		}
+	}
+}
+
+func TestBlockDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	block := make([]byte, BlockBytes)
+	rng.Read(block)
+	ecc := EncodeBlock(block)
+	for trial := 0; trial < 200; trial++ {
+		byteIdx := rng.Intn(BlockBytes)
+		bit := uint(rng.Intn(8))
+		block[byteIdx] ^= 1 << bit
+		if CheckBlock(block, ecc) {
+			t.Fatalf("trial %d: single-bit corruption not detected", trial)
+		}
+		block[byteIdx] ^= 1 << bit
+	}
+}
+
+func TestBlockCorrectsSingleBitPerWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := make([]byte, BlockBytes)
+	rng.Read(orig)
+	ecc := EncodeBlock(orig)
+	block := make([]byte, BlockBytes)
+	copy(block, orig)
+	// Flip one bit in every word.
+	for w := 0; w < WordsPerBlock; w++ {
+		block[w*WordBytes+rng.Intn(WordBytes)] ^= 1 << uint(rng.Intn(8))
+	}
+	res := CorrectBlock(block, ecc)
+	if res != CorrectedData {
+		t.Fatalf("result %v, want CorrectedData", res)
+	}
+	for i := range orig {
+		if block[i] != orig[i] {
+			t.Fatalf("byte %d not restored", i)
+		}
+	}
+}
+
+// TestRandomPlaintextFailsCheck is the property Osiris depends on:
+// an unrelated (pseudo-random) block almost never passes another
+// block's ECC.
+func TestRandomPlaintextFailsCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]byte, BlockBytes)
+	b := make([]byte, BlockBytes)
+	for trial := 0; trial < 500; trial++ {
+		rng.Read(a)
+		rng.Read(b)
+		if CheckBlock(b, EncodeBlock(a)) {
+			t.Fatalf("trial %d: random block passed foreign ECC", trial)
+		}
+	}
+}
+
+func TestPanicsOnWrongSize(t *testing.T) {
+	for _, fn := range []func(){
+		func() { EncodeBlock(make([]byte, 63)) },
+		func() { CheckBlock(make([]byte, 65), [WordsPerBlock]uint8{}) },
+		func() { CorrectBlock(make([]byte, 0), [WordsPerBlock]uint8{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for wrong block size")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCheckResultString(t *testing.T) {
+	cases := map[CheckResult]string{
+		OK:             "ok",
+		CorrectedData:  "corrected-data",
+		CorrectedECC:   "corrected-ecc",
+		Uncorrectable:  "uncorrectable",
+		CheckResult(9): "unknown",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func BenchmarkEncodeWord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkEncodeBlock(b *testing.B) {
+	block := make([]byte, BlockBytes)
+	binary.LittleEndian.PutUint64(block, 0x123456789)
+	b.SetBytes(BlockBytes)
+	for i := 0; i < b.N; i++ {
+		EncodeBlock(block)
+	}
+}

@@ -1,0 +1,430 @@
+// Package figures regenerates every evaluation artifact of the paper:
+// Table 1 and Figures 5, 7, 10, 11, 12, 13, plus the headline recovery
+// numbers. cmd/anubis-bench prints them; the root bench_test.go wraps
+// them in testing.B benchmarks; EXPERIMENTS.md records the outputs next
+// to the paper's values.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"anubis/internal/memctrl"
+	"anubis/internal/recmodel"
+	"anubis/internal/sim"
+	"anubis/internal/trace"
+)
+
+// RunConfig scales the simulated experiments.
+type RunConfig struct {
+	// MemoryBytes is the simulated capacity for performance runs (the
+	// geometry is exact; storage is sparse).
+	MemoryBytes uint64
+	// Requests per (app, scheme) simulation.
+	Requests int
+	// Seed for the trace generators.
+	Seed int64
+	// Apps restricts the benchmark list (nil = all 11).
+	Apps []string
+	// CounterCacheBytes / TreeCacheBytes / MetaCacheBytes override
+	// Table 1's cache sizes when nonzero (used by Figure 13).
+	CounterCacheBytes int
+	TreeCacheBytes    int
+	MetaCacheBytes    int
+}
+
+// DefaultRunConfig mirrors Table 1 but at a simulation-friendly scale:
+// full 11-app suite, 40k requests each, 256 MB sparse memory.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		MemoryBytes: 256 << 20,
+		Requests:    40000,
+		Seed:        99,
+	}
+}
+
+// QuickRunConfig is a reduced configuration for benchmarks and smoke
+// tests.
+func QuickRunConfig() RunConfig {
+	rc := DefaultRunConfig()
+	rc.Requests = 5000
+	rc.Apps = []string{"mcf", "lbm", "libquantum"}
+	return rc
+}
+
+func (rc RunConfig) profiles() []trace.Profile {
+	all := trace.SPEC2006()
+	if rc.Apps == nil {
+		return all
+	}
+	var out []trace.Profile
+	for _, name := range rc.Apps {
+		if p, ok := trace.ByName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (rc RunConfig) config(s memctrl.Scheme) memctrl.Config {
+	cfg := memctrl.DefaultConfig(s)
+	cfg.MemoryBytes = rc.MemoryBytes
+	if rc.CounterCacheBytes > 0 {
+		cfg.CounterCacheBlocks = rc.CounterCacheBytes / memctrl.BlockBytes
+	}
+	if rc.TreeCacheBytes > 0 {
+		cfg.TreeCacheBlocks = rc.TreeCacheBytes / memctrl.BlockBytes
+	}
+	if rc.MetaCacheBytes > 0 {
+		cfg.MetaCacheBlocks = rc.MetaCacheBytes / memctrl.BlockBytes
+	}
+	return cfg
+}
+
+func (rc RunConfig) run(f sim.Family, s memctrl.Scheme, p trace.Profile) (sim.Result, error) {
+	ctrl, err := sim.NewController(f, rc.config(s))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(ctrl, trace.NewGenerator(p, rc.Seed), rc.Requests)
+}
+
+// --- Table 1 -------------------------------------------------------------------
+
+// Table1 renders the simulated system configuration.
+func Table1(w io.Writer) {
+	cfg := memctrl.DefaultConfig(memctrl.SchemeAGITPlus)
+	fmt.Fprintln(w, "Table 1: Configuration of the Simulated System")
+	fmt.Fprintf(w, "  %-22s %s\n", "Engine", "trace-driven secure-NVM controller model (gem5 substitute)")
+	fmt.Fprintf(w, "  %-22s %d GB (geometry; sparse backing)\n", "Capacity", cfg.MemoryBytes>>30)
+	fmt.Fprintf(w, "  %-22s read %d ns, write %d ns, %d banks, %d write ports\n", "PCM latencies",
+		cfg.Timing.ReadNS, cfg.Timing.WriteNS, cfg.Timing.Banks, cfg.Timing.WritePorts)
+	fmt.Fprintf(w, "  %-22s %d entries (ADR-protected), drain watermark %d\n", "WPQ",
+		cfg.Timing.WPQEntries, cfg.Timing.DrainWatermark)
+	fmt.Fprintf(w, "  %-22s %d KB, %d-way, 64 B blocks\n", "Counter cache",
+		cfg.CounterCacheBlocks*memctrl.BlockBytes/1024, cfg.CounterCacheWays)
+	fmt.Fprintf(w, "  %-22s %d KB, %d-way, 64 B blocks\n", "Merkle tree cache",
+		cfg.TreeCacheBlocks*memctrl.BlockBytes/1024, cfg.TreeCacheWays)
+	fmt.Fprintf(w, "  %-22s %d KB, %d-way (SGX family)\n", "Metadata cache",
+		cfg.MetaCacheBlocks*memctrl.BlockBytes/1024, cfg.MetaCacheWays)
+	fmt.Fprintf(w, "  %-22s %d KB SCT + %d KB SMT (AGIT), %d KB ST (ASIT)\n", "Shadow regions",
+		cfg.CounterCacheBlocks*memctrl.BlockBytes/1024,
+		cfg.TreeCacheBlocks*memctrl.BlockBytes/1024,
+		cfg.MetaCacheBlocks*memctrl.BlockBytes/1024)
+	fmt.Fprintf(w, "  %-22s %d (Osiris)\n", "Stop-loss limit", cfg.StopLoss)
+}
+
+// --- Figure 5 -------------------------------------------------------------------
+
+// Fig5Row is one point of the Osiris recovery-time curve.
+type Fig5Row struct {
+	MemBytes uint64
+	NS       uint64
+}
+
+// Fig5 computes Osiris whole-memory recovery time for the paper's
+// capacity axis (analytic, like the paper's footnote 1).
+func Fig5() []Fig5Row {
+	caps := []uint64{128 << 30, 256 << 30, 512 << 30, 1 << 40, 2 << 40, 4 << 40, 8 << 40}
+	rows := make([]Fig5Row, 0, len(caps))
+	for _, c := range caps {
+		rows = append(rows, Fig5Row{MemBytes: c, NS: recmodel.OsirisFullNS(c, 1.05)})
+	}
+	return rows
+}
+
+// PrintFig5 renders Figure 5.
+func PrintFig5(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: Recovery Time for Different Memory Sizes (Using Osiris)")
+	fmt.Fprintf(w, "  %-10s %14s %16s\n", "memory", "seconds", "human")
+	for _, r := range Fig5() {
+		fmt.Fprintf(w, "  %-10s %14.1f %16s\n", memName(r.MemBytes),
+			recmodel.Seconds(r.NS), recmodel.FormatDuration(r.NS))
+	}
+}
+
+// --- Figure 7 -------------------------------------------------------------------
+
+// Fig7Row reports per-app counter-cache eviction cleanliness.
+type Fig7Row struct {
+	App        string
+	CleanFrac  float64
+	Evictions  uint64
+	FirstDirty uint64
+}
+
+// Fig7 measures the fraction of clean counter-cache evictions per app
+// under the write-back baseline (the observation motivating AGIT-Plus).
+func Fig7(rc RunConfig) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, p := range rc.profiles() {
+		res, err := rc.run(sim.FamilyBonsai, memctrl.SchemeWriteBack, p)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", p.Name, err)
+		}
+		cs := res.Stats.CounterCache
+		rows = append(rows, Fig7Row{
+			App:        p.Name,
+			CleanFrac:  res.CleanEvictionFrac(),
+			Evictions:  cs.Evictions,
+			FirstDirty: cs.FirstDirties,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig7 renders Figure 7.
+func PrintFig7(w io.Writer, rc RunConfig) error {
+	rows, err := Fig7(rc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 7: Fraction of Clean Counter-Cache Evictions")
+	fmt.Fprintf(w, "  %-12s %10s %12s\n", "app", "clean", "evictions")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12s %9.1f%% %12d\n", r.App, 100*r.CleanFrac, r.Evictions)
+	}
+	return nil
+}
+
+// --- Figures 10 and 11 ------------------------------------------------------------
+
+// PerfRow is one app's normalized execution times per scheme.
+type PerfRow struct {
+	App  string
+	Norm map[memctrl.Scheme]float64
+}
+
+// Fig10Schemes lists the AGIT evaluation's schemes in the paper's order.
+var Fig10Schemes = []memctrl.Scheme{
+	memctrl.SchemeWriteBack, memctrl.SchemeStrict, memctrl.SchemeOsiris,
+	memctrl.SchemeAGITRead, memctrl.SchemeAGITPlus,
+}
+
+// Fig11Schemes lists the ASIT evaluation's schemes.
+var Fig11Schemes = []memctrl.Scheme{
+	memctrl.SchemeWriteBack, memctrl.SchemeStrict, memctrl.SchemeOsiris,
+	memctrl.SchemeASIT,
+}
+
+// perfFigure runs every (app, scheme) pair and normalizes to write-back.
+func perfFigure(rc RunConfig, f sim.Family, schemes []memctrl.Scheme) ([]PerfRow, map[memctrl.Scheme]float64, error) {
+	var rows []PerfRow
+	avg := map[memctrl.Scheme]float64{}
+	profiles := rc.profiles()
+	for _, p := range profiles {
+		base, err := rc.run(f, schemes[0], p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s/%s: %w", p.Name, schemes[0], err)
+		}
+		row := PerfRow{App: p.Name, Norm: map[memctrl.Scheme]float64{schemes[0]: 1}}
+		for _, s := range schemes[1:] {
+			res, err := rc.run(f, s, p)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", p.Name, s, err)
+			}
+			row.Norm[s] = res.Normalized(base)
+		}
+		rows = append(rows, row)
+		for s, v := range row.Norm {
+			avg[s] += v / float64(len(profiles))
+		}
+	}
+	return rows, avg, nil
+}
+
+// Fig10 runs the AGIT performance evaluation (general tree family).
+func Fig10(rc RunConfig) ([]PerfRow, map[memctrl.Scheme]float64, error) {
+	return perfFigure(rc, sim.FamilyBonsai, Fig10Schemes)
+}
+
+// Fig11 runs the ASIT performance evaluation (SGX tree family).
+func Fig11(rc RunConfig) ([]PerfRow, map[memctrl.Scheme]float64, error) {
+	return perfFigure(rc, sim.FamilySGX, Fig11Schemes)
+}
+
+// PrintPerf renders Figure 10 or 11.
+func PrintPerf(w io.Writer, title string, rows []PerfRow, avg map[memctrl.Scheme]float64, schemes []memctrl.Scheme) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "  %-12s", "app")
+	for _, s := range schemes {
+		fmt.Fprintf(w, "%12s", s)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12s", r.App)
+		for _, s := range schemes {
+			fmt.Fprintf(w, "%12.3f", r.Norm[s])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  %-12s", "average")
+	for _, s := range schemes {
+		fmt.Fprintf(w, "%12.3f", avg[s])
+	}
+	fmt.Fprintln(w)
+}
+
+// --- Figure 12 -----------------------------------------------------------------
+
+// Fig12Row is one point of the Anubis recovery-time curves.
+type Fig12Row struct {
+	CacheBytes uint64 // per-cache size (counter cache = tree cache)
+	AGITNS     uint64
+	ASITNS     uint64
+}
+
+// Fig12 computes Anubis recovery time versus metadata cache size
+// (analytic, per §6.3.1's op accounting). The x axis grows both AGIT
+// caches together; ASIT's combined metadata cache has their total size.
+func Fig12() []Fig12Row {
+	sizes := []uint64{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20}
+	rows := make([]Fig12Row, 0, len(sizes))
+	for _, c := range sizes {
+		rows = append(rows, Fig12Row{
+			CacheBytes: c,
+			AGITNS:     recmodel.AGITNS(c, c),
+			ASITNS:     recmodel.ASITNS(2 * c),
+		})
+	}
+	return rows
+}
+
+// PrintFig12 renders Figure 12.
+func PrintFig12(w io.Writer) {
+	fmt.Fprintln(w, "Figure 12: Recovery Time vs Metadata Cache Size")
+	fmt.Fprintf(w, "  %-10s %14s %14s\n", "cache", "AGIT", "ASIT")
+	for _, r := range Fig12() {
+		fmt.Fprintf(w, "  %-10s %14s %14s\n", memName(r.CacheBytes),
+			recmodel.FormatDuration(r.AGITNS), recmodel.FormatDuration(r.ASITNS))
+	}
+}
+
+// MeasuredRecovery executes a real crash+recovery at the given scale and
+// returns the recovery report — validating the analytic op counts with
+// the actual implementation.
+func MeasuredRecovery(scheme memctrl.Scheme, family sim.Family, rc RunConfig) (*memctrl.RecoveryReport, error) {
+	ctrl, err := sim.NewController(family, rc.config(scheme))
+	if err != nil {
+		return nil, err
+	}
+	prof := rc.profiles()[0]
+	if _, err := sim.Run(ctrl, trace.NewGenerator(prof, rc.Seed), rc.Requests); err != nil {
+		return nil, err
+	}
+	ctrl.Crash()
+	return ctrl.Recover()
+}
+
+// --- Figure 13 -----------------------------------------------------------------
+
+// Fig13Row is one cache-size point of the sensitivity study.
+type Fig13Row struct {
+	CacheBytes uint64
+	Norm       map[memctrl.Scheme]float64 // averaged over apps, normalized to same-size write-back
+}
+
+// Fig13Schemes are the schemes whose sensitivity the paper plots.
+var Fig13Schemes = []memctrl.Scheme{
+	memctrl.SchemeAGITRead, memctrl.SchemeAGITPlus, memctrl.SchemeASIT,
+}
+
+// Fig13 sweeps metadata cache sizes (per-cache; ASIT uses the combined
+// total) and reports each scheme's average normalized performance.
+func Fig13(rc RunConfig) ([]Fig13Row, error) {
+	sizes := []uint64{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20}
+	var rows []Fig13Row
+	for _, size := range sizes {
+		cc := rc
+		cc.CounterCacheBytes = int(size)
+		cc.TreeCacheBytes = int(size)
+		cc.MetaCacheBytes = int(2 * size)
+		row := Fig13Row{CacheBytes: size, Norm: map[memctrl.Scheme]float64{}}
+		profiles := cc.profiles()
+		for _, p := range profiles {
+			baseB, err := cc.run(sim.FamilyBonsai, memctrl.SchemeWriteBack, p)
+			if err != nil {
+				return nil, err
+			}
+			baseS, err := cc.run(sim.FamilySGX, memctrl.SchemeWriteBack, p)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range Fig13Schemes {
+				fam := sim.FamilyBonsai
+				base := baseB
+				if s == memctrl.SchemeASIT {
+					fam = sim.FamilySGX
+					base = baseS
+				}
+				res, err := cc.run(fam, s, p)
+				if err != nil {
+					return nil, err
+				}
+				row.Norm[s] += res.Normalized(base) / float64(len(profiles))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig13 renders Figure 13.
+func PrintFig13(w io.Writer, rc RunConfig) error {
+	rows, err := Fig13(rc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 13: Performance Sensitivity to Cache Size (normalized to write-back)")
+	fmt.Fprintf(w, "  %-10s", "cache")
+	for _, s := range Fig13Schemes {
+		fmt.Fprintf(w, "%12s", s)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s", memName(r.CacheBytes))
+		for _, s := range Fig13Schemes {
+			fmt.Fprintf(w, "%12.3f", r.Norm[s])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// --- headline -------------------------------------------------------------------
+
+// PrintHeadline renders the abstract's headline comparison.
+func PrintHeadline(w io.Writer) {
+	osiris := recmodel.OsirisFullNS(8<<40, 1.05)
+	agit := recmodel.AGITNS(256<<10, 256<<10)
+	asit := recmodel.ASITNS(512 << 10)
+	fmt.Fprintln(w, "Headline (abstract): recovery time, 8 TB NVM, Table 1 caches")
+	fmt.Fprintf(w, "  %-28s %s\n", "Osiris (full rebuild):", recmodel.FormatDuration(osiris))
+	fmt.Fprintf(w, "  %-28s %s\n", "Anubis AGIT:", recmodel.FormatDuration(agit))
+	fmt.Fprintf(w, "  %-28s %s\n", "Anubis ASIT:", recmodel.FormatDuration(asit))
+	fmt.Fprintf(w, "  %-28s %.1ex\n", "AGIT speedup:", recmodel.Speedup(osiris, agit))
+}
+
+func memName(b uint64) string {
+	switch {
+	case b >= 1<<40:
+		return fmt.Sprintf("%dTB", b>>40)
+	case b >= 1<<30:
+		return fmt.Sprintf("%dGB", b>>30)
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	default:
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+}
+
+// SortSchemes returns schemes in a stable display order.
+func SortSchemes(m map[memctrl.Scheme]float64) []memctrl.Scheme {
+	out := make([]memctrl.Scheme, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,227 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"anubis/internal/cache"
+	"anubis/internal/counter"
+	"anubis/internal/cryptoeng"
+	"anubis/internal/ecc"
+	"anubis/internal/merkle"
+	"anubis/internal/nvm"
+	"anubis/internal/shadow"
+)
+
+// AuditReport summarizes a whole-memory integrity audit (fsck).
+type AuditReport struct {
+	DataBlocks    uint64
+	CounterBlocks uint64
+	TreeNodes     uint64
+	Violations    []string // capped at maxViolations
+}
+
+const maxViolations = 32
+
+// OK reports whether the audit found a fully consistent image.
+func (r *AuditReport) OK() bool { return len(r.Violations) == 0 }
+
+func (r *AuditReport) violate(format string, args ...interface{}) {
+	if len(r.Violations) < maxViolations {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// --- opening controllers over existing NVM images ---------------------------
+
+// OpenBonsai attaches a Bonsai controller to an existing NVM device
+// (e.g. one restored with nvm.LoadDevice). The controller starts in the
+// crashed state: call Recover before issuing I/O.
+func OpenBonsai(cfg Config, dev *nvm.Device) (*Bonsai, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Scheme {
+	case SchemeWriteBack, SchemeStrict, SchemeOsiris, SchemeAGITRead, SchemeAGITPlus, SchemeSelective:
+	default:
+		return nil, fmt.Errorf("memctrl: scheme %v is not a general-tree scheme", cfg.Scheme)
+	}
+	b := &Bonsai{
+		cfg:         cfg,
+		dev:         dev,
+		eng:         cryptoeng.NewTestEngine(),
+		numBlocks:   cfg.MemoryBytes / BlockBytes,
+		numPages:    cfg.MemoryBytes / PageBytes,
+		cCache:      cache.New(cfg.CounterCacheBlocks, cfg.CounterCacheWays),
+		tCache:      cache.New(cfg.TreeCacheBlocks, cfg.TreeCacheWays),
+		updateCount: make(map[uint64]int),
+		crashed:     true,
+	}
+	b.geom = merkle.NewGeometry(b.numPages)
+	if b.agit() {
+		b.sct = shadow.NewAddrTable(b.cCache.NumSlots())
+		b.smt = shadow.NewAddrTable(b.tCache.NumSlots())
+	}
+	b.computeTreeDefaults()
+	return b, nil
+}
+
+// OpenSGX attaches an SGX-family controller to an existing NVM device.
+// The controller starts crashed: call Recover before issuing I/O.
+func OpenSGX(cfg Config, dev *nvm.Device) (*SGX, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Scheme {
+	case SchemeWriteBack, SchemeStrict, SchemeOsiris, SchemeASIT:
+	default:
+		return nil, fmt.Errorf("memctrl: scheme %v is not an SGX-tree scheme", cfg.Scheme)
+	}
+	c := &SGX{
+		cfg:         cfg,
+		dev:         dev,
+		eng:         cryptoeng.NewTestEngine(),
+		numBlocks:   cfg.MemoryBytes / BlockBytes,
+		mCache:      cache.New(cfg.MetaCacheBlocks, cfg.MetaCacheWays),
+		updateCount: make(map[uint64]int),
+		crashed:     true,
+	}
+	c.numLeaves = c.numBlocks / counter.SGXCounters
+	c.geom = merkle.NewGeometry(c.numLeaves)
+	if cfg.Scheme == SchemeASIT {
+		c.st = shadow.NewSTTable(c.mCache.NumSlots())
+		c.stGeom = merkle.NewGeometry(uint64(c.st.NumSlots()))
+		c.stNodes = make([][]merkle.GNode, c.stGeom.Levels())
+		for l := range c.stNodes {
+			c.stNodes[l] = make([]merkle.GNode, c.stGeom.NodesAt(l))
+		}
+	}
+	return c, nil
+}
+
+// --- whole-memory audits ------------------------------------------------------
+
+// AuditNVM performs a full consistency check of the NVM image against
+// the on-chip roots (fsck for secure memory). Dirty metadata is flushed
+// first so the audit covers the ground truth in NVM. The audit is
+// read-only with respect to logical content and reports every class of
+// violation it finds (capped).
+func (b *Bonsai) AuditNVM() (*AuditReport, error) {
+	if b.crashed {
+		return nil, fmt.Errorf("memctrl: audit requires a recovered controller")
+	}
+	b.FlushCaches()
+	rep := &AuditReport{}
+
+	// 1. Recompute the tree from the counters; compare the root and
+	// every materialized node.
+	root := merkle.BuildGeneral(b.geom, b.eng,
+		func(i uint64) [BlockBytes]byte { return b.dev.Read(nvm.RegionCounter, i) },
+		func(flat uint64, n merkle.GNode) {
+			if b.dev.Has(nvm.RegionTree, flat) {
+				stored := merkle.GNode(b.dev.Read(nvm.RegionTree, flat))
+				if stored != n {
+					level, idx := b.geom.Unflat(flat)
+					rep.violate("tree node (%d,%d) stale or corrupt", level, idx)
+				}
+			}
+			rep.TreeNodes++
+		}, nil)
+	if root != b.rootHash {
+		rep.violate("tree root %#x != on-chip root %#x", root, b.rootHash)
+	}
+	rep.CounterBlocks = b.geom.Leaves()
+
+	// 2. Verify every data block against its counter, ECC, and MAC.
+	for page := uint64(0); page < b.numPages; page++ {
+		s := counter.UnpackSplit(b.dev.Read(nvm.RegionCounter, page))
+		base := page * counter.SplitMinors
+		for lane := 0; lane < counter.SplitMinors; lane++ {
+			idx := base + uint64(lane)
+			phys := b.wl.phys(idx)
+			if !b.dev.Has(nvm.RegionData, phys) {
+				continue
+			}
+			rep.DataBlocks++
+			ct := b.dev.Read(nvm.RegionData, phys)
+			side := b.dev.ReadSideband(phys)
+			pt := b.eng.Decrypt(idx, s.Counter(lane), ct[:])
+			if !ecc.CheckBlock(pt, side.ECC) {
+				rep.violate("data block %d fails ECC", idx)
+				continue
+			}
+			if b.eng.DataMAC(idx, s.Counter(lane), pt) != side.MAC {
+				rep.violate("data block %d fails MAC", idx)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// AuditNVM performs the SGX-family audit: every persisted metadata
+// block's MAC must verify against its current parent counter (up to the
+// on-chip root node), and every data block must decrypt and verify
+// under its leaf counter.
+func (c *SGX) AuditNVM() (*AuditReport, error) {
+	if c.crashed {
+		return nil, fmt.Errorf("memctrl: audit requires a recovered controller")
+	}
+	c.FlushCaches()
+	rep := &AuditReport{}
+
+	parentCtr := func(r metaRef) uint64 {
+		parent, slot, isRoot := c.parentOf(r)
+		if isRoot {
+			return c.rootNode.Ctr[slot]
+		}
+		pregion, pidx := c.regionIdx(parent)
+		pg := counter.UnpackSGX(c.dev.Read(pregion, pidx))
+		return pg.Ctr[slot]
+	}
+	check := func(r metaRef) {
+		region, idx := c.regionIdx(r)
+		if !c.dev.Has(region, idx) {
+			return
+		}
+		g := counter.UnpackSGX(c.dev.Read(region, idx))
+		pc := parentCtr(r)
+		if g == (counter.SGX{}) && pc == 0 {
+			return
+		}
+		if c.eng.SGXMAC(c.addrOf(r), g.Ctr[:], pc) != g.MAC {
+			rep.violate("metadata block %#x fails MAC", c.addrOf(r))
+		}
+	}
+	for _, idx := range c.dev.BlocksIn(nvm.RegionCounter) {
+		rep.CounterBlocks++
+		check(metaRef{isLeaf: true, idx: idx})
+	}
+	for _, flat := range c.dev.BlocksIn(nvm.RegionTree) {
+		rep.TreeNodes++
+		level, i := c.geom.Unflat(flat)
+		check(metaRef{level: level, idx: i})
+	}
+
+	for _, leaf := range c.dev.BlocksIn(nvm.RegionCounter) {
+		g := counter.UnpackSGX(c.dev.Read(nvm.RegionCounter, leaf))
+		base := leaf * counter.SGXCounters
+		for lane := 0; lane < counter.SGXCounters; lane++ {
+			idx := base + uint64(lane)
+			phys := c.wl.phys(idx)
+			if !c.dev.Has(nvm.RegionData, phys) {
+				continue
+			}
+			rep.DataBlocks++
+			ct := c.dev.Read(nvm.RegionData, phys)
+			side := c.dev.ReadSideband(phys)
+			pt := c.eng.Decrypt(idx, g.Ctr[lane], ct[:])
+			if !ecc.CheckBlock(pt, side.ECC) {
+				rep.violate("data block %d fails ECC", idx)
+				continue
+			}
+			if c.eng.DataMAC(idx, g.Ctr[lane], pt) != side.MAC {
+				rep.violate("data block %d fails MAC", idx)
+			}
+		}
+	}
+	return rep, nil
+}

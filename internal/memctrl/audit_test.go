@@ -1,0 +1,256 @@
+package memctrl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"anubis/internal/nvm"
+)
+
+func fillRandom(t *testing.T, ctrl Controller, n int, seed int64) map[uint64][BlockBytes]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	expect := map[uint64][BlockBytes]byte{}
+	for i := 0; i < n; i++ {
+		addr := uint64(rng.Intn(int(ctrl.NumBlocks())))
+		var d [BlockBytes]byte
+		rng.Read(d[:])
+		if err := ctrl.WriteBlock(addr, d); err != nil {
+			t.Fatal(err)
+		}
+		expect[addr] = d
+	}
+	return expect
+}
+
+func TestAuditCleanImage(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() (Controller, error)
+	}{
+		{"bonsai-agit", func() (Controller, error) { return NewBonsai(TestConfig(SchemeAGITPlus)) }},
+		{"bonsai-wear", func() (Controller, error) {
+			cfg := TestConfig(SchemeAGITPlus)
+			cfg.WearPeriod = 3
+			return NewBonsai(cfg)
+		}},
+		{"sgx-asit", func() (Controller, error) { return NewSGX(TestConfig(SchemeASIT)) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctrl, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fillRandom(t, ctrl, 400, 3)
+			rep, err := ctrl.AuditNVM()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("clean image reported violations: %v", rep.Violations)
+			}
+			if rep.DataBlocks == 0 {
+				t.Fatal("audit checked no data blocks")
+			}
+		})
+	}
+}
+
+func TestAuditDetectsDataCorruption(t *testing.T) {
+	b, _ := NewBonsai(TestConfig(SchemeStrict))
+	fillRandom(t, b, 100, 4)
+	b.FlushCaches()
+	blocks := b.Device().BlocksIn(nvm.RegionData)
+	b.Device().CorruptBlock(nvm.RegionData, blocks[len(blocks)/2], 5, 0x20)
+	rep, err := b.AuditNVM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("audit missed data corruption")
+	}
+}
+
+func TestAuditDetectsCounterCorruption(t *testing.T) {
+	b, _ := NewBonsai(TestConfig(SchemeStrict))
+	fillRandom(t, b, 100, 5)
+	b.FlushCaches()
+	blocks := b.Device().BlocksIn(nvm.RegionCounter)
+	b.Device().CorruptBlock(nvm.RegionCounter, blocks[0], 9, 0x01)
+	rep, err := b.AuditNVM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("audit missed counter corruption")
+	}
+}
+
+func TestAuditSGXDetectsTreeCorruption(t *testing.T) {
+	c, _ := NewSGX(TestConfig(SchemeASIT))
+	fillRandom(t, c, 600, 6)
+	c.FlushCaches()
+	blocks := c.Device().BlocksIn(nvm.RegionTree)
+	if len(blocks) == 0 {
+		t.Skip("no tree nodes persisted")
+	}
+	c.Device().CorruptBlock(nvm.RegionTree, blocks[0], 2, 0x10)
+	rep, err := c.AuditNVM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("audit missed tree corruption")
+	}
+}
+
+func TestAuditRefusesCrashedController(t *testing.T) {
+	b, _ := NewBonsai(TestConfig(SchemeAGITPlus))
+	b.WriteBlock(0, pattern(0))
+	b.Crash()
+	if _, err := b.AuditNVM(); err == nil {
+		t.Fatal("audit ran on a crashed controller")
+	}
+}
+
+// --- image save/load round trips ---
+
+func TestImageRoundTripBonsai(t *testing.T) {
+	cfg := TestConfig(SchemeAGITPlus)
+	b, err := NewBonsai(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := fillRandom(t, b, 300, 7)
+	b.FlushCaches()
+
+	var buf bytes.Buffer
+	if err := b.Device().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := nvm.LoadDevice(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := OpenBonsai(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range expect {
+		got, err := b2.ReadBlock(addr)
+		if err != nil || got != want {
+			t.Fatalf("block %d after image reload: %v", addr, err)
+		}
+	}
+	rep, err := b2.AuditNVM()
+	if err != nil || !rep.OK() {
+		t.Fatalf("audit after reload: %v %v", err, rep.Violations)
+	}
+}
+
+func TestImageRoundTripDirtyCrash(t *testing.T) {
+	// An image saved mid-crash (dirty cache lost) must recover on load —
+	// the full process-restart story.
+	cfg := TestConfig(SchemeASIT)
+	c, err := NewSGX(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := fillRandom(t, c, 300, 8)
+	c.Crash() // dirty state lost; shadow table holds the truth
+
+	var buf bytes.Buffer
+	if err := c.Device().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := nvm.LoadDevice(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenSGX(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range expect {
+		got, err := c2.ReadBlock(addr)
+		if err != nil || got != want {
+			t.Fatalf("block %d after dirty-image reload: %v", addr, err)
+		}
+	}
+}
+
+func TestImageRoundTripWearLeveling(t *testing.T) {
+	cfg := TestConfig(SchemeAGITPlus)
+	cfg.WearPeriod = 2
+	b, err := NewBonsai(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := fillRandom(t, b, 300, 9)
+	b.Crash()
+	var buf bytes.Buffer
+	if err := b.Device().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := nvm.LoadDevice(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := OpenBonsai(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range expect {
+		got, err := b2.ReadBlock(addr)
+		if err != nil || got != want {
+			t.Fatalf("block %d with wear map reload: %v", addr, err)
+		}
+	}
+}
+
+func TestImageInterruptedCommitRedo(t *testing.T) {
+	// A committed-but-undrained group travels with the image and is
+	// redone on the other side.
+	cfg := TestConfig(SchemeStrict)
+	b, _ := NewBonsai(cfg)
+	b.WriteBlock(9, pattern(1))
+	b.Device().SetPushBudget(1)
+	b.WriteBlock(9, pattern(2))
+	b.Crash()
+	var buf bytes.Buffer
+	if err := b.Device().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := nvm.LoadDevice(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := OpenBonsai(cfg, dev)
+	rep, err := b2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RedoneWrites == 0 {
+		t.Fatal("interrupted group not redone after image reload")
+	}
+	got, err := b2.ReadBlock(9)
+	if err != nil || got != pattern(2) {
+		t.Fatalf("committed write lost across image reload: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := nvm.LoadDevice(bytes.NewReader([]byte("not an image"))); err == nil {
+		t.Fatal("garbage image accepted")
+	}
+}

@@ -1,0 +1,307 @@
+package memctrl
+
+import (
+	"fmt"
+	"sort"
+
+	"anubis/internal/counter"
+	"anubis/internal/ecc"
+	"anubis/internal/merkle"
+	"anubis/internal/nvm"
+	"anubis/internal/shadow"
+)
+
+// Recover brings the controller back to a verified state after Crash.
+//
+//   - WriteBack has no mechanism and returns ErrNotRecoverable.
+//   - Strict is instantly consistent: only the DONE_BIT redo runs.
+//   - Osiris recovers every counter in memory via ECC trials and
+//     reconstructs the entire Merkle tree bottom-up — the O(memory)
+//     recovery the paper's Figure 5 prices at hours for TB capacities.
+//   - AGIT-Read / AGIT-Plus run Algorithm 1: scan SCT and SMT, fix only
+//     tracked counters, recompute only tracked tree nodes level by
+//     level, then compare the resulting root with the on-chip root.
+func (b *Bonsai) Recover() (*RecoveryReport, error) {
+	rep := &RecoveryReport{Scheme: b.cfg.Scheme}
+	rep.RedoneWrites = b.dev.RedoCommitted()
+
+	// Restore the wear-leveling map before any data-region access.
+	wl, err := reloadWearLeveler(b.dev, b.cfg.WearPeriod)
+	if err != nil {
+		return rep, fmt.Errorf("%w: %v", ErrUnrecoverable, err)
+	}
+	b.wl = wl
+
+	switch b.cfg.Scheme {
+	case SchemeWriteBack:
+		// No recovery mechanism. The controller is returned to service
+		// so that reads can demonstrate the resulting state: consistent
+		// only if the caches happened to be clean (e.g. after an orderly
+		// FlushCaches), verification failures otherwise.
+		if root, ok := b.dev.GetReg64(regBonsaiRoot); ok {
+			b.rootHash = root
+		}
+		b.crashed = false
+		return rep, ErrNotRecoverable
+	case SchemeStrict:
+		root, ok := b.dev.GetReg64(regBonsaiRoot)
+		if !ok {
+			return rep, fmt.Errorf("%w: missing root register", ErrUnrecoverable)
+		}
+		b.rootHash = root
+		b.crashed = false
+		return rep, nil
+	case SchemeOsiris:
+		return b.recoverOsirisFull(rep)
+	case SchemeAGITRead, SchemeAGITPlus:
+		return b.recoverAGIT(rep)
+	case SchemeSelective:
+		return b.recoverSelective(rep)
+	case SchemeTriad:
+		return b.recoverTriad(rep)
+	}
+	return rep, fmt.Errorf("memctrl: no recovery for scheme %v", b.cfg.Scheme)
+}
+
+// osirisFixLane recovers the encryption counter of one data block.
+//
+// With RecoveryECC it tries candidates stored..stored+StopLoss against
+// the decrypted block's ECC and data MAC — the Osiris mechanism (§2.4).
+// With RecoveryPhase the counter's low 8 bits travel with the data, so
+// the candidate is reconstructed directly and verified once.
+func (b *Bonsai) osirisFixLane(idx, stored uint64, rep *RecoveryReport) (uint64, bool) {
+	phys := b.wl.phys(idx)
+	ct := b.dev.Read(nvm.RegionData, phys)
+	rep.FetchOps++
+	side := b.dev.ReadSideband(phys)
+	verify := func(cand uint64) bool {
+		rep.CryptoOps++
+		pt := b.eng.Decrypt(idx, cand, ct[:])
+		return ecc.CheckBlock(pt, side.ECC) && b.eng.DataMAC(idx, cand, pt) == side.MAC
+	}
+	if b.cfg.Recovery == RecoveryPhase {
+		// stored never exceeds the true counter, and the drift is below
+		// 2^8 (a minor overflow force-persists the block), so the phase
+		// identifies the counter uniquely.
+		delta := uint64(uint8(side.Phase - uint8(stored)))
+		cand := stored + delta
+		if verify(cand) {
+			return cand, true
+		}
+		return 0, false
+	}
+	for k := uint64(0); k <= uint64(b.cfg.StopLoss); k++ {
+		if cand := stored + k; verify(cand) {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// fixCounterBlock repairs every lane of one counter block, rewriting it
+// to NVM when anything changed. It reports failure when no candidate
+// within the stop-loss window matches a lane's data.
+func (b *Bonsai) fixCounterBlock(page uint64, rep *RecoveryReport) error {
+	blk := b.dev.Read(nvm.RegionCounter, page)
+	rep.FetchOps++
+	s := counter.UnpackSplit(blk)
+	changed := false
+	base := page * counter.SplitMinors
+	for lane := 0; lane < counter.SplitMinors; lane++ {
+		idx := base + uint64(lane)
+		if !b.dev.Has(nvm.RegionData, b.wl.phys(idx)) {
+			continue // never written: counter must be current
+		}
+		stored := s.Counter(lane)
+		cand, ok := b.osirisFixLane(idx, stored, rep)
+		if !ok {
+			return fmt.Errorf("%w: counter for block %d beyond stop-loss window", ErrUnrecoverable, idx)
+		}
+		if cand != stored {
+			if cand>>counter.MinorBits != s.Major {
+				return fmt.Errorf("%w: counter for block %d crossed a page overflow", ErrUnrecoverable, idx)
+			}
+			s.Minors[lane] = uint8(cand & counter.MinorMax)
+			rep.CountersFixed++
+			changed = true
+		}
+	}
+	if changed {
+		b.dev.WriteRaw(nvm.RegionCounter, page, s.Pack())
+		rep.FetchOps++
+	}
+	return nil
+}
+
+// recoverOsirisFull is the no-Anubis baseline: every counter block in
+// the whole memory is repaired, then the complete tree is rebuilt.
+func (b *Bonsai) recoverOsirisFull(rep *RecoveryReport) (*RecoveryReport, error) {
+	for page := uint64(0); page < b.numPages; page++ {
+		if err := b.fixCounterBlock(page, rep); err != nil {
+			return rep, err
+		}
+	}
+	root := merkle.BuildGeneral(b.geom, b.eng,
+		func(i uint64) [BlockBytes]byte { return b.dev.Read(nvm.RegionCounter, i) },
+		func(flat uint64, n merkle.GNode) {
+			b.dev.WriteRaw(nvm.RegionTree, flat, n)
+			rep.FetchOps++
+		},
+		&rep.CryptoOps)
+	rep.NodesRebuilt += b.geom.TotalNodes()
+	want, _ := b.dev.GetReg64(regBonsaiRoot)
+	if root != want {
+		return rep, fmt.Errorf("%w: rebuilt root %#x != stored root %#x", ErrUnrecoverable, root, want)
+	}
+	b.rootHash = root
+	b.crashed = false
+	return rep, nil
+}
+
+// recoverTriad rebuilds only the tree levels Triad-NVM does not persist
+// at run time: counters and levels < TriadLevels are fresh in NVM, so
+// reconstruction starts there and works upward, then the root is
+// compared with the on-chip register. Cost is O(memory / 8^TriadLevels)
+// — far below a full Osiris rebuild (no data reads, no ECC trials), but
+// still memory-bound, which is the contrast with Anubis the paper draws
+// in §7.
+func (b *Bonsai) recoverTriad(rep *RecoveryReport) (*RecoveryReport, error) {
+	start := b.cfg.TriadLevels
+	if start > b.geom.Levels() {
+		start = b.geom.Levels()
+	}
+	for level := start; level < b.geom.Levels(); level++ {
+		for idx := uint64(0); idx < b.geom.NodesAt(level); idx++ {
+			b.recomputeNode(level, idx, rep)
+		}
+	}
+	rootNode := b.treeNodeNVM(b.geom.Flat(b.geom.RootLevel(), 0))
+	rep.FetchOps++
+	rep.CryptoOps++
+	root := b.eng.ContentHash(rootNode[:])
+	want, _ := b.dev.GetReg64(regBonsaiRoot)
+	if root != want {
+		return rep, fmt.Errorf("%w: rebuilt root %#x != stored root %#x", ErrUnrecoverable, root, want)
+	}
+	b.rootHash = root
+	b.crashed = false
+	return rep, nil
+}
+
+// recoverSelective implements the selective counter atomicity baseline's
+// restart: the integrity tree is rebuilt from whatever counters NVM
+// holds and the on-chip root is re-anchored to the result ("trust on
+// boot"). Persistent-region counters are current by construction, so
+// that region recovers with full freshness. Relaxed counters may be
+// stale, which surfaces in two ways the paper and Osiris point out:
+// recently written relaxed blocks fail verification (data newer than
+// counter), and an attacker can pair a stale counter with equally stale
+// data so that old values verify as current — a replay. Recovery is
+// also O(memory): the whole tree must be reconstructed.
+func (b *Bonsai) recoverSelective(rep *RecoveryReport) (*RecoveryReport, error) {
+	root := merkle.BuildGeneral(b.geom, b.eng,
+		func(i uint64) [BlockBytes]byte { return b.dev.Read(nvm.RegionCounter, i) },
+		func(flat uint64, n merkle.GNode) {
+			b.dev.WriteRaw(nvm.RegionTree, flat, n)
+			rep.FetchOps++
+		},
+		&rep.CryptoOps)
+	rep.NodesRebuilt += b.geom.TotalNodes()
+	// Trust on boot: unlike every root-anchored scheme, the register is
+	// overwritten with the rebuilt value instead of being compared.
+	b.rootHash = root
+	b.dev.SetReg64(regBonsaiRoot, root)
+	b.crashed = false
+	return rep, nil
+}
+
+// recoverAGIT implements Algorithm 1 of the paper.
+func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
+	// 1. Read the SCT and repair every tracked counter block. The
+	// restored tables also become the controller's live mirrors: a
+	// mirror that disagreed with NVM would corrupt neighbouring entries
+	// on the next 64-byte shadow block write.
+	sct := shadow.RestoreAddrTable(b.cCache.NumSlots(), func(bi uint64) [BlockBytes]byte {
+		rep.FetchOps++
+		return b.dev.Read(nvm.RegionSCT, bi)
+	})
+	b.sct = sct
+	seenPages := make(map[uint64]bool)
+	for _, tr := range sct.Live() {
+		rep.EntriesScanned++
+		if seenPages[tr.Key] {
+			continue // stale duplicate entry for the same block
+		}
+		seenPages[tr.Key] = true
+		if err := b.fixCounterBlock(tr.Key, rep); err != nil {
+			return rep, err
+		}
+	}
+
+	// 2. Read the SMT and classify tracked nodes by tree level.
+	smt := shadow.RestoreAddrTable(b.tCache.NumSlots(), func(bi uint64) [BlockBytes]byte {
+		rep.FetchOps++
+		return b.dev.Read(nvm.RegionSMT, bi)
+	})
+	b.smt = smt
+	byLevel := make(map[int][]uint64)
+	seenNodes := make(map[uint64]bool)
+	for _, tr := range smt.Live() {
+		rep.EntriesScanned++
+		if seenNodes[tr.Key] {
+			continue
+		}
+		seenNodes[tr.Key] = true
+		level, idx := b.geom.Unflat(tr.Key)
+		byLevel[level] = append(byLevel[level], idx)
+	}
+
+	// 3. Recompute affected nodes bottom-up: repairing a level relies on
+	// the level below being already fixed (Algorithm 1, line 9+).
+	for level := 0; level < b.geom.Levels(); level++ {
+		idxs := byLevel[level]
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for _, idx := range idxs {
+			b.recomputeNode(level, idx, rep)
+		}
+	}
+
+	// 4. Compare the resulting root against the on-chip root register.
+	rootFlat := b.geom.Flat(b.geom.RootLevel(), 0)
+	rootNode := b.treeNodeNVM(rootFlat)
+	rep.FetchOps++
+	rep.CryptoOps++
+	root := b.eng.ContentHash(rootNode[:])
+	want, _ := b.dev.GetReg64(regBonsaiRoot)
+	if root != want {
+		return rep, fmt.Errorf("%w: recovered root %#x != stored root %#x", ErrUnrecoverable, root, want)
+	}
+	b.rootHash = root
+	b.crashed = false
+	return rep, nil
+}
+
+// recomputeNode rebuilds one tree node from its (already repaired)
+// children and writes it back.
+func (b *Bonsai) recomputeNode(level int, idx uint64, rep *RecoveryReport) {
+	first, n := b.geom.ChildrenOf(level, idx)
+	var node merkle.GNode
+	for s := 0; s < n; s++ {
+		child := first + uint64(s)
+		var h uint64
+		if level == 0 {
+			blk := b.dev.Read(nvm.RegionCounter, child)
+			rep.FetchOps++
+			h = b.eng.ContentHash(blk[:])
+		} else {
+			blk := b.treeNodeNVM(b.geom.Flat(level-1, child))
+			rep.FetchOps++
+			h = b.eng.ContentHash(blk[:])
+		}
+		rep.CryptoOps++
+		node.SetHash(s, h)
+	}
+	b.dev.WriteRaw(nvm.RegionTree, b.geom.Flat(level, idx), node)
+	rep.FetchOps++
+	rep.NodesRebuilt++
+}

@@ -1,0 +1,147 @@
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anubis/internal/counter"
+	"anubis/internal/nvm"
+)
+
+// checkNVMConsistency verifies that every persisted metadata block's MAC
+// matches its current trusted parent counter.
+func checkNVMConsistency(c *SGX) error {
+	check := func(r metaRef) error {
+		region, idx := c.regionIdx(r)
+		if !c.dev.Has(region, idx) {
+			return nil
+		}
+		g := counter.UnpackSGX(c.dev.Read(region, idx))
+		parent, slot, isRoot := c.parentOf(r)
+		var pc uint64
+		if isRoot {
+			pc = c.rootNode.Ctr[slot]
+		} else if l, ok := c.mCache.Peek(c.keyOf(parent)); ok {
+			pg := counter.UnpackSGX(l.Data)
+			pc = pg.Ctr[slot]
+		} else {
+			pregion, pidx := c.regionIdx(parent)
+			pg := counter.UnpackSGX(c.dev.Read(pregion, pidx))
+			pc = pg.Ctr[slot]
+		}
+		if g == (counter.SGX{}) && pc == 0 {
+			return nil
+		}
+		if c.eng.SGXMAC(c.addrOf(r), g.Ctr[:], pc) != g.MAC {
+			return fmt.Errorf("NVM block %v region=%v idx=%d ctrs=%v pc=%d MAC mismatch", r, region, idx, g.Ctr, pc)
+		}
+		return nil
+	}
+	for _, idx := range c.dev.BlocksIn(nvm.RegionCounter) {
+		if err := check(metaRef{isLeaf: true, idx: idx}); err != nil {
+			return err
+		}
+	}
+	for _, flat := range c.dev.BlocksIn(nvm.RegionTree) {
+		level, i := c.geom.Unflat(flat)
+		if err := check(metaRef{level: level, idx: i}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestASITInvariantPerOp verifies after every single operation (and
+// after each crash+recovery) that every persisted metadata block's MAC
+// matches its current trusted parent counter — the global consistency
+// invariant of the lazy SGX tree.
+func TestASITInvariantPerOp(t *testing.T) {
+	cfg := TestConfig(SchemeASIT)
+	ctrl, err := NewSGX(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	op := 0
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 150; i++ {
+			addr := uint64(rng.Intn(int(ctrl.NumBlocks())))
+			var d [BlockBytes]byte
+			rng.Read(d[:])
+			if err := ctrl.WriteBlock(addr, d); err != nil {
+				t.Fatalf("round %d op %d write: %v", round, op, err)
+			}
+			if err := checkNVMConsistency(ctrl); err != nil {
+				t.Fatalf("round %d op %d (write %d): %v", round, op, addr, err)
+			}
+			op++
+			if i%3 == 0 {
+				raddr := uint64(rng.Intn(int(ctrl.NumBlocks())))
+				if _, err := ctrl.ReadBlock(raddr); err != nil {
+					t.Fatalf("round %d op %d read %d: %v", round, op, raddr, err)
+				}
+				if err := checkNVMConsistency(ctrl); err != nil {
+					t.Fatalf("round %d op %d (read %d): %v", round, op, raddr, err)
+				}
+				op++
+			}
+		}
+		ctrl.Crash()
+		if _, err := ctrl.Recover(); err != nil {
+			t.Fatalf("round %d recover: %v", round, err)
+		}
+		if err := checkNVMConsistency(ctrl); err != nil {
+			t.Fatalf("round %d post-recover: %v", round, err)
+		}
+	}
+}
+
+// TestASITHeavySoak shakes the ASIT implementation across many seeds
+// with flushes, crashes, and full-data verification.
+func TestASITHeavySoak(t *testing.T) {
+	seeds := int64(30)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		ctrl, err := NewSGX(TestConfig(SchemeASIT))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		expect := map[uint64][BlockBytes]byte{}
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 200; i++ {
+				addr := uint64(rng.Intn(int(ctrl.NumBlocks())))
+				var d [BlockBytes]byte
+				rng.Read(d[:])
+				if err := ctrl.WriteBlock(addr, d); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				expect[addr] = d
+				if i%3 == 0 {
+					if _, err := ctrl.ReadBlock(uint64(rng.Intn(int(ctrl.NumBlocks())))); err != nil {
+						t.Fatalf("seed %d read: %v", seed, err)
+					}
+				}
+			}
+			if round == 2 {
+				ctrl.FlushCaches()
+			}
+			ctrl.Crash()
+			if _, err := ctrl.Recover(); err != nil {
+				t.Fatalf("seed %d round %d recover: %v", seed, round, err)
+			}
+			if err := checkNVMConsistency(ctrl); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+			for addr, want := range expect {
+				got, err := ctrl.ReadBlock(addr)
+				if err != nil || got != want {
+					t.Fatalf("seed %d round %d block %d: %v", seed, round, addr, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package memctrl implements the secure NVM memory controllers the
+// paper evaluates: counter-mode encryption, integrity trees, metadata
+// caching, crash persistence, and post-crash recovery.
+//
+// Two controller families exist, matching §6.1 and §6.2 of the paper:
+//
+//   - Bonsai (NewBonsai): split counters + general non-parallelizable
+//     8-ary Merkle tree with an eager (root-always-fresh) update policy.
+//     Schemes: WriteBack (baseline, unrecoverable), Strict, Osiris,
+//     AGIT-Read, AGIT-Plus.
+//   - SGX (NewSGX): SGX-style counter blocks + parallelizable nonce tree
+//     with a lazy (Vault/Synergy) update policy and a combined metadata
+//     cache. Schemes: WriteBack, Strict, Osiris (unrecoverable on this
+//     tree — the paper's motivating observation), ASIT.
+//
+// Both expose the same Controller interface; the trace-driven simulator
+// (internal/sim) and the recovery experiments drive them through it.
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"anubis/internal/cache"
+	"anubis/internal/nvm"
+)
+
+// BlockBytes is the data access granularity (one cache line).
+const BlockBytes = 64
+
+// PageBytes is the page size one split-counter block covers.
+const PageBytes = 4096
+
+// Scheme selects the persistence/recovery mechanism of a controller.
+type Scheme int
+
+const (
+	// SchemeWriteBack is the plain write-back baseline: lowest overhead,
+	// no crash recoverability (figures 10 and 11, scheme ①).
+	SchemeWriteBack Scheme = iota
+	// SchemeStrict persists every counter and tree update up to the root
+	// on each write (scheme ②): recoverable, ~63% overhead.
+	SchemeStrict
+	// SchemeOsiris adds the stop-loss counter persistence of Osiris
+	// (Ye et al., MICRO 2018) to the write-back baseline (scheme ③).
+	// Counters are recoverable; general-tree recovery takes O(memory),
+	// SGX-tree recovery is impossible.
+	SchemeOsiris
+	// SchemeAGITRead is Anubis for general integrity trees, tracking
+	// metadata cache fills in the SCT/SMT (scheme ④, §4.2.1).
+	SchemeAGITRead
+	// SchemeAGITPlus tracks only first modifications (scheme ⑤, §4.2.2).
+	SchemeAGITPlus
+	// SchemeASIT is Anubis for SGX-style integrity trees: the shadow
+	// table holds an exact integrity-protected snapshot of the metadata
+	// cache (§4.3).
+	SchemeASIT
+	// SchemeTriad is a Triad-NVM-style baseline (Awad et al., ISCA 2019;
+	// the paper's reference [24], discussed in §7): encryption counters
+	// and the first TriadLevels tree levels persist on every write, so
+	// recovery only rebuilds the levels above — a knob trading run-time
+	// overhead against recovery time. Unlike Anubis, recovery still
+	// scales with memory size (O(memory/8^k)), and SGX-style trees
+	// remain unrecoverable.
+	SchemeTriad
+	// SchemeSelective is the selective counter atomicity baseline (Liu
+	// et al., HPCA 2018; the paper's reference [8]): counters of a
+	// designated persistent region are written through on every update,
+	// all other counters are relaxed, and recovery rebuilds the tree
+	// from whatever counters NVM holds and re-anchors the root to it
+	// ("trust on boot"). As the paper and Osiris observe, the relaxed
+	// counters open a replay window after a crash — demonstrated in the
+	// tests — and recovery still costs a whole-memory tree rebuild.
+	SchemeSelective
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeWriteBack:
+		return "writeback"
+	case SchemeStrict:
+		return "strict"
+	case SchemeOsiris:
+		return "osiris"
+	case SchemeAGITRead:
+		return "agit-read"
+	case SchemeAGITPlus:
+		return "agit-plus"
+	case SchemeASIT:
+		return "asit"
+	case SchemeSelective:
+		return "selective"
+	case SchemeTriad:
+		return "triad"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Config parameterizes a controller. DefaultConfig matches Table 1 of
+// the paper.
+type Config struct {
+	// MemoryBytes is the protected data capacity. Geometry (tree depth,
+	// counter count) follows from it; storage is sparse, so large
+	// capacities cost only for the blocks actually touched.
+	MemoryBytes uint64
+
+	// CounterCacheBlocks/Ways size the Bonsai counter cache.
+	CounterCacheBlocks int
+	CounterCacheWays   int
+	// TreeCacheBlocks/Ways size the Bonsai Merkle tree cache.
+	TreeCacheBlocks int
+	TreeCacheWays   int
+	// MetaCacheBlocks/Ways size the SGX combined metadata cache.
+	MetaCacheBlocks int
+	MetaCacheWays   int
+
+	// StopLoss is the Osiris stop-loss limit: a counter block is force-
+	// persisted after this many un-persisted updates (paper uses 4).
+	StopLoss int
+
+	// Recovery selects the counter-recovery backend used by the Osiris
+	// and AGIT schemes on the general tree (§2.4 discusses both).
+	Recovery CounterRecovery
+
+	// WearPeriod enables Start-Gap wear leveling of the data region when
+	// positive: the gap moves every WearPeriod data writes. Zero
+	// disables leveling.
+	WearPeriod int
+
+	// TriadLevels is SchemeTriad's resilience knob: the number of tree
+	// levels (above the counters) persisted on every write.
+	TriadLevels int
+
+	// PersistentBlocks bounds the persistent region for SchemeSelective:
+	// writes to data blocks below this index persist their counter
+	// block immediately; all others are relaxed. Zero means the whole
+	// memory is treated as persistent.
+	PersistentBlocks uint64
+
+	// HashNS is the hash/MAC engine latency charged on the critical path.
+	HashNS uint64
+
+	// Timing parameterizes the NVM device.
+	Timing nvm.Timing
+
+	Scheme Scheme
+}
+
+// DefaultConfig returns the paper's Table 1 configuration: 16 GB PCM,
+// 256 KB 8-way counter cache, 256 KB 16-way tree cache, 512 KB combined
+// metadata cache, stop-loss 4.
+func DefaultConfig(s Scheme) Config {
+	return Config{
+		MemoryBytes:        16 << 30,
+		CounterCacheBlocks: 256 * 1024 / BlockBytes,
+		CounterCacheWays:   8,
+		TreeCacheBlocks:    256 * 1024 / BlockBytes,
+		TreeCacheWays:      16,
+		MetaCacheBlocks:    512 * 1024 / BlockBytes,
+		MetaCacheWays:      8,
+		StopLoss:           4,
+		HashNS:             40,
+		Timing:             nvm.DefaultTiming(),
+		Scheme:             s,
+	}
+}
+
+// TestConfig returns a small configuration suitable for unit tests:
+// 1 MB of memory and tiny caches, so recovery paths and evictions are
+// exercised quickly.
+func TestConfig(s Scheme) Config {
+	c := DefaultConfig(s)
+	c.MemoryBytes = 1 << 20
+	c.CounterCacheBlocks = 32
+	c.CounterCacheWays = 4
+	c.TreeCacheBlocks = 32
+	c.TreeCacheWays = 4
+	c.MetaCacheBlocks = 64
+	c.MetaCacheWays = 8
+	return c
+}
+
+func (c *Config) validate() error {
+	if c.MemoryBytes == 0 || c.MemoryBytes%PageBytes != 0 {
+		return fmt.Errorf("memctrl: memory size %d must be a positive multiple of %d", c.MemoryBytes, PageBytes)
+	}
+	if c.StopLoss <= 0 {
+		return errors.New("memctrl: stop-loss must be positive")
+	}
+	return nil
+}
+
+// CounterRecovery selects how lost encryption counters are identified
+// after a crash.
+type CounterRecovery int
+
+const (
+	// RecoveryECC is Osiris proper: decrypt with candidate counters
+	// stored..stored+StopLoss and accept the one whose ECC (and data
+	// MAC) checks out. Needs stop-loss persistence at run time.
+	RecoveryECC CounterRecovery = iota
+	// RecoveryPhase stores the low 8 bits of the encryption counter in
+	// the data block's sideband ("extending the data bus", §2.4):
+	// recovery reads the phase directly — one operation per counter, no
+	// trials — and no stop-loss persistence is needed at run time
+	// because the phase bounds counter drift by 2^8 (minor counters
+	// overflow, and force a persist, long before that).
+	RecoveryPhase
+)
+
+func (r CounterRecovery) String() string {
+	if r == RecoveryPhase {
+		return "phase"
+	}
+	return "ecc"
+}
+
+// IntegrityError reports a failed integrity verification: either an
+// attack (tampered NVM) or irrecoverable post-crash state.
+type IntegrityError struct {
+	What string // which check failed
+	Addr uint64 // offending block address/index
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("memctrl: integrity violation: %s at %#x", e.What, e.Addr)
+}
+
+// ErrUnrecoverable is wrapped by Recover when the post-crash state
+// cannot be brought back to a verified condition.
+var ErrUnrecoverable = errors.New("memctrl: system unrecoverable")
+
+// ErrNotRecoverable is returned by Recover for schemes that provide no
+// recovery mechanism at all (write-back baselines, Osiris on SGX trees).
+var ErrNotRecoverable = errors.New("memctrl: scheme does not support recovery")
+
+// RunStats aggregates a controller's run-time activity.
+type RunStats struct {
+	ReadRequests  uint64
+	WriteRequests uint64
+
+	// ShadowWrites counts NVM writes into SCT/SMT/ST regions.
+	ShadowWrites uint64
+	// StopLossWrites counts counter blocks persisted by the stop-loss rule.
+	StopLossWrites uint64
+	// StrictWrites counts metadata blocks persisted by strict persistence.
+	StrictWrites uint64
+	// PageOverflows counts split-counter page re-encryptions.
+	PageOverflows uint64
+
+	NVM nvm.Stats
+
+	CounterCache cache.Stats
+	TreeCache    cache.Stats // combined metadata cache for SGX family
+}
+
+// RecoveryReport describes a completed (or failed) recovery.
+type RecoveryReport struct {
+	Scheme Scheme
+
+	// FetchOps counts 64-byte blocks fetched from NVM during recovery;
+	// CryptoOps counts hash/decrypt+check operations. The paper's model
+	// prices recovery at 100 ns per op (footnote 1 / §6.3.1).
+	FetchOps  uint64
+	CryptoOps uint64
+
+	CountersFixed  uint64 // encryption counters repaired (Osiris trials)
+	NodesRebuilt   uint64 // tree nodes recomputed (AGIT) or spliced (ASIT)
+	EntriesScanned uint64 // shadow table entries visited
+
+	RedoneWrites int // commit-group writes replayed via DONE_BIT
+}
+
+// OpNS is the paper's per-operation recovery cost model (100 ns per
+// fetched/updated block, bundling the fetch with its hash/decryption).
+const OpNS = 100
+
+// ModeledNS returns the modeled recovery time in nanoseconds.
+func (r *RecoveryReport) ModeledNS() uint64 {
+	return (r.FetchOps + r.CryptoOps) * OpNS
+}
+
+// Controller is the common interface of both controller families.
+type Controller interface {
+	// ReadBlock returns the plaintext of a 64-byte data block after
+	// decryption and integrity verification.
+	ReadBlock(idx uint64) ([BlockBytes]byte, error)
+	// WriteBlock encrypts and persists a 64-byte data block together
+	// with its security metadata updates, per the configured scheme.
+	WriteBlock(idx uint64, data [BlockBytes]byte) error
+
+	// Now returns the controller's virtual clock (ns).
+	Now() uint64
+	// AdvanceTo moves the virtual clock forward (CPU think time).
+	AdvanceTo(t uint64)
+
+	// FlushCaches writes back all dirty metadata (orderly shutdown).
+	FlushCaches()
+	// Crash models a power failure: all volatile state is lost.
+	Crash()
+	// Recover executes the scheme's recovery algorithm and returns its
+	// report. An error means the memory image could not be verified.
+	Recover() (*RecoveryReport, error)
+
+	// AuditNVM runs a whole-memory integrity audit (fsck) after
+	// flushing dirty metadata.
+	AuditNVM() (*AuditReport, error)
+	// Stats returns accumulated run-time statistics.
+	Stats() RunStats
+	// NumBlocks returns the number of data blocks in the address space.
+	NumBlocks() uint64
+	// Device exposes the NVM device (tests, tampering experiments).
+	Device() *nvm.Device
+	// Scheme returns the configured scheme.
+	Scheme() Scheme
+}

@@ -1,0 +1,130 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newPhaseBonsai(t *testing.T, s Scheme) *Bonsai {
+	t.Helper()
+	cfg := TestConfig(s)
+	cfg.Recovery = RecoveryPhase
+	b, err := NewBonsai(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestPhaseRecoveryRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{SchemeOsiris, SchemeAGITRead, SchemeAGITPlus} {
+		t.Run(s.String(), func(t *testing.T) {
+			b := newPhaseBonsai(t, s)
+			rng := rand.New(rand.NewSource(21))
+			expect := map[uint64][BlockBytes]byte{}
+			for i := 0; i < 400; i++ {
+				addr := uint64(rng.Intn(int(b.NumBlocks())))
+				d := pattern(uint64(i) * 7)
+				if err := b.WriteBlock(addr, d); err != nil {
+					t.Fatal(err)
+				}
+				expect[addr] = d
+			}
+			b.Crash()
+			if _, err := b.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			for addr, want := range expect {
+				got, err := b.ReadBlock(addr)
+				if err != nil || got != want {
+					t.Fatalf("block %d: %v", addr, err)
+				}
+			}
+		})
+	}
+}
+
+func TestPhaseNeedsNoStopLossWrites(t *testing.T) {
+	// The phase travels with the data, so the run-time stop-loss
+	// persistence disappears entirely.
+	b := newPhaseBonsai(t, SchemeOsiris)
+	for i := 0; i < 50; i++ {
+		b.WriteBlock(uint64(i%4), pattern(uint64(i))) // hammer page 0
+	}
+	if got := b.Stats().StopLossWrites; got != 0 {
+		t.Fatalf("phase mode made %d stop-loss writes, want 0", got)
+	}
+	// The same workload under ECC mode persists every 4th update.
+	e, err := NewBonsai(TestConfig(SchemeOsiris))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		e.WriteBlock(uint64(i%4), pattern(uint64(i)))
+	}
+	if e.Stats().StopLossWrites == 0 {
+		t.Fatal("ECC mode made no stop-loss writes")
+	}
+}
+
+func TestPhaseRecoveryFewerTrials(t *testing.T) {
+	// Phase recovery does exactly one decrypt per counter; ECC recovery
+	// averages more (stored counters lag by up to StopLoss-1).
+	run := func(rec CounterRecovery) *RecoveryReport {
+		cfg := TestConfig(SchemeOsiris)
+		cfg.Recovery = rec
+		cfg.StopLoss = 16 // widen the drift window so trials matter
+		b, err := NewBonsai(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			b.WriteBlock(0, pattern(uint64(i))) // one lane, maximal drift
+		}
+		b.Crash()
+		rep, err := b.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	phase := run(RecoveryPhase)
+	eccRep := run(RecoveryECC)
+	if phase.CryptoOps >= eccRep.CryptoOps {
+		t.Fatalf("phase crypto ops (%d) not below ECC trials (%d)", phase.CryptoOps, eccRep.CryptoOps)
+	}
+}
+
+func TestPhaseSurvivesDeepDrift(t *testing.T) {
+	// Without stop-loss persists the cached counter can drift far ahead
+	// of NVM (up to a page overflow); the phase must still pin it.
+	b := newPhaseBonsai(t, SchemeAGITPlus)
+	for i := 0; i < 100; i++ { // 100 updates to one lane, page 0 never persisted
+		if err := b.WriteBlock(0, pattern(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Crash()
+	if _, err := b.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadBlock(0)
+	if err != nil || got != pattern(99) {
+		t.Fatalf("deep-drift block after recovery: %v", err)
+	}
+}
+
+func TestPhaseCrashLoopSoak(t *testing.T) {
+	b := newPhaseBonsai(t, SchemeAGITPlus)
+	rng := rand.New(rand.NewSource(5))
+	expect := map[uint64][BlockBytes]byte{}
+	for round := 0; round < 5; round++ {
+		tortureRound(t, b, rng, expect, 200, round == 3)
+	}
+}
+
+func TestRecoveryModeString(t *testing.T) {
+	if RecoveryECC.String() != "ecc" || RecoveryPhase.String() != "phase" {
+		t.Fatal("CounterRecovery strings wrong")
+	}
+}

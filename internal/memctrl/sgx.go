@@ -1,0 +1,716 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"anubis/internal/cache"
+	"anubis/internal/counter"
+	"anubis/internal/cryptoeng"
+	"anubis/internal/ecc"
+	"anubis/internal/merkle"
+	"anubis/internal/nvm"
+	"anubis/internal/shadow"
+)
+
+const (
+	// regSGXRoot holds the packed on-chip top node of the SGX tree: its
+	// eight nonces version the top-level children (Figure 3).
+	regSGXRoot = "sgx_root_node"
+	// regShadowTreeRoot is ASIT's SHADOW_TREE_ROOT: the root of the small
+	// general tree protecting the Shadow Table (§4.3.1). Eagerly updated
+	// and persistent, while the tree body itself stays volatile.
+	regShadowTreeRoot = "shadow_tree_root"
+
+	// treeKeyBase tags tree-node keys in the combined metadata cache.
+	treeKeyBase = uint64(1) << 60
+)
+
+// SGX is the parallelizable-integrity-tree controller family: SGX-style
+// counter blocks (8 × 56-bit counters + 56-bit MAC) serve as both
+// encryption counters and tree nodes; a node's MAC covers its own
+// counters and one counter of its parent, so updates to different
+// levels can proceed in parallel but the tree cannot be rebuilt from
+// the leaves (§2.3.2) — the property that motivates ASIT.
+//
+// The tree uses the lazy (Vault/Synergy) update policy the paper
+// adopts: a write dirties only the leaf counter block; a parent nonce
+// is bumped, and the child's MAC rebound, when the child is written
+// back. Schemes: WriteBack, Strict, Osiris (unrecoverable here), ASIT.
+type SGX struct {
+	cfg  Config
+	dev  *nvm.Device
+	eng  *cryptoeng.Engine
+	geom merkle.Geometry
+
+	numBlocks uint64 // data blocks
+	numLeaves uint64 // SGX counter blocks
+
+	mCache *cache.Cache // combined metadata cache
+
+	// Volatile mirror of the on-chip root node register.
+	rootNode counter.SGX
+
+	// Osiris stop-loss bookkeeping (per cached leaf block).
+	updateCount map[uint64]int
+
+	// ASIT state: shadow table mirror plus its volatile protection tree.
+	st      *shadow.STTable
+	stGeom  merkle.Geometry
+	stNodes [][]merkle.GNode
+	stRoot  uint64
+
+	// wl is the optional Start-Gap wear leveler over the data region.
+	wl *wearLeveler
+
+	now     uint64
+	stats   RunStats
+	crashed bool
+
+	pending []nvm.PendingWrite
+	// wbq is the volatile writeback buffer: dirty victims wait here
+	// until the end of the operation, when drainWBQ rebinds their MACs
+	// and stages them. A demand fetch for a queued block pulls it back
+	// into the cache instead of reading the (stale) NVM copy — the
+	// standard writeback-buffer-hit behaviour, and the reason fills can
+	// never observe a block that is mid-writeback.
+	wbq []cache.Victim
+}
+
+// NewSGX constructs an SGX-family controller for cfg.Scheme, which must
+// be one of WriteBack, Strict, Osiris, ASIT.
+func NewSGX(cfg Config) (*SGX, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Scheme {
+	case SchemeWriteBack, SchemeStrict, SchemeOsiris, SchemeASIT:
+	default:
+		return nil, fmt.Errorf("memctrl: scheme %v is not an SGX-tree scheme", cfg.Scheme)
+	}
+	c := &SGX{
+		cfg:         cfg,
+		dev:         nvm.NewDevice(cfg.Timing),
+		eng:         cryptoeng.NewTestEngine(),
+		numBlocks:   cfg.MemoryBytes / BlockBytes,
+		mCache:      cache.New(cfg.MetaCacheBlocks, cfg.MetaCacheWays),
+		updateCount: make(map[uint64]int),
+	}
+	c.numLeaves = c.numBlocks / counter.SGXCounters
+	c.geom = merkle.NewGeometry(c.numLeaves)
+	c.wl = newWearLeveler(c.dev, c.numBlocks, cfg.WearPeriod)
+	c.dev.SetReg(regSGXRoot, packSGX(&c.rootNode))
+	if cfg.Scheme == SchemeASIT {
+		c.st = shadow.NewSTTable(c.mCache.NumSlots())
+		c.stGeom = merkle.NewGeometry(uint64(c.st.NumSlots()))
+		c.initShadowTree()
+	}
+	c.dev.ResetStats()
+	return c, nil
+}
+
+func packSGX(g *counter.SGX) []byte {
+	b := g.Pack()
+	return b[:]
+}
+
+// --- metadata block references ------------------------------------------------
+
+// metaRef identifies a metadata block: either a counter leaf or a tree
+// node at (level, idx). The on-chip root node is not a metaRef — it is
+// reached through parentOf's isRoot result.
+type metaRef struct {
+	isLeaf bool
+	level  int
+	idx    uint64
+}
+
+func (c *SGX) keyOf(r metaRef) uint64 {
+	if r.isLeaf {
+		return r.idx
+	}
+	return treeKeyBase | c.geom.Flat(r.level, r.idx)
+}
+
+// refOfKey inverts keyOf (used by recovery and eviction paths).
+func (c *SGX) refOfKey(key uint64) metaRef {
+	if key&treeKeyBase == 0 {
+		return metaRef{isLeaf: true, idx: key}
+	}
+	level, idx := c.geom.Unflat(key &^ treeKeyBase)
+	return metaRef{level: level, idx: idx}
+}
+
+// addrOf returns the address label bound into the block's MAC.
+func (c *SGX) addrOf(r metaRef) uint64 {
+	if r.isLeaf {
+		return r.idx
+	}
+	return merkle.NodeAddr(r.level, r.idx)
+}
+
+func (c *SGX) regionIdx(r metaRef) (nvm.Region, uint64) {
+	if r.isLeaf {
+		return nvm.RegionCounter, r.idx
+	}
+	return nvm.RegionTree, c.geom.Flat(r.level, r.idx)
+}
+
+// parentOf returns the parent reference of a block and the slot this
+// block occupies in it; isRoot means the parent is the on-chip root
+// node register.
+func (c *SGX) parentOf(r metaRef) (parent metaRef, slot int, isRoot bool) {
+	if r.isLeaf {
+		slot = int(r.idx % merkle.Arity)
+		if c.geom.RootLevel() == 0 {
+			return metaRef{}, slot, true
+		}
+		return metaRef{level: 0, idx: r.idx / merkle.Arity}, slot, false
+	}
+	slot = int(r.idx % merkle.Arity)
+	if r.level+1 >= c.geom.RootLevel() {
+		return metaRef{}, slot, true
+	}
+	return metaRef{level: r.level + 1, idx: r.idx / merkle.Arity}, slot, false
+}
+
+// --- pending-aware NVM access ---------------------------------------------------
+
+// nvmRead returns the latest content of a block, preferring writes
+// staged in the current operation's atomic group (they are logically
+// already in the WPQ/persistent registers).
+func (c *SGX) nvmRead(region nvm.Region, idx uint64, timed bool) [BlockBytes]byte {
+	for i := len(c.pending) - 1; i >= 0; i-- {
+		w := c.pending[i]
+		if w.RegName == "" && w.Region == region && w.Index == idx {
+			return w.Block
+		}
+	}
+	if timed {
+		blk, done := c.dev.ReadAt(region, idx, c.now)
+		c.now = done
+		return blk
+	}
+	return c.dev.Read(region, idx)
+}
+
+// --- metadata fetch with verification -------------------------------------------
+
+// parentCounterOf returns the trusted current value of the parent
+// counter versioning block r, fetching (and verifying) the parent if
+// needed.
+func (c *SGX) parentCounterOf(r metaRef) (uint64, error) {
+	parent, slot, isRoot := c.parentOf(r)
+	if isRoot {
+		return c.rootNode.Ctr[slot], nil
+	}
+	pline, err := c.getMeta(parent)
+	if err != nil {
+		return 0, err
+	}
+	pg := counter.UnpackSGX(pline.Data)
+	return pg.Ctr[slot], nil
+}
+
+// getMeta returns a verified, cached metadata block (leaf counter block
+// or tree node). On a miss the block is fetched from NVM and its MAC is
+// verified against the parent counter (fetched recursively up to the
+// first cached ancestor or the root register). A never-written block is
+// accepted as the all-zero fresh block only while its parent counter is
+// still zero, which is exactly the pre-first-writeback window.
+func (c *SGX) getMeta(r metaRef) (*cache.Line, error) {
+	key := c.keyOf(r)
+	if line, ok := c.mCache.Lookup(key); ok {
+		return line, nil
+	}
+	// Writeback-buffer hit: the block was evicted earlier in this
+	// operation and is still awaiting writeback. Its content came from
+	// the cache (trusted, newer than NVM), so pull it back — the queued
+	// writeback is cancelled by removing the entry.
+	for i := range c.wbq {
+		if c.wbq[i].Key == key {
+			data := c.wbq[i].Data
+			c.wbq = append(c.wbq[:i], c.wbq[i+1:]...)
+			line := c.insertQueueingVictim(key, data)
+			c.mCache.MarkDirty(key)
+			if c.cfg.Scheme == SchemeASIT {
+				// The block re-enters (possibly) a different slot; its
+				// shadow entry must track the new slot, because the old
+				// slot's entry can be overwritten by a future occupant,
+				// leaving this dirty block untracked across a crash.
+				g := counter.UnpackSGX(line.Data)
+				if err := c.shadowMeta(r, line, &g); err != nil {
+					return nil, err
+				}
+			}
+			return line, nil
+		}
+	}
+	region, idx := c.regionIdx(r)
+	blk := c.nvmRead(region, idx, true)
+	pc, err := c.parentCounterOf(r)
+	if err != nil {
+		return nil, err
+	}
+	// The parent walk can have re-inserted this very block from the
+	// writeback buffer (a victim's parent chain may touch it); use the
+	// resident copy then.
+	if line, ok := c.mCache.Lookup(key); ok {
+		return line, nil
+	}
+	g := counter.UnpackSGX(blk)
+	if blk == ([BlockBytes]byte{}) && pc == 0 {
+		// Fresh uninitialized block: valid by construction.
+	} else {
+		want := c.eng.SGXMAC(c.addrOf(r), g.Ctr[:], pc)
+		if g.MAC != want {
+			return nil, &IntegrityError{What: "sgx node MAC mismatch", Addr: c.addrOf(r)}
+		}
+	}
+	return c.insertQueueingVictim(key, blk), nil
+}
+
+// insertQueueingVictim inserts a block, parking any dirty victim in the
+// writeback buffer for the end-of-operation drain.
+func (c *SGX) insertQueueingVictim(key uint64, blk [BlockBytes]byte) *cache.Line {
+	line, victim := c.mCache.Insert(key, blk)
+	if victim != nil && victim.Dirty {
+		c.wbq = append(c.wbq, *victim)
+	}
+	return line
+}
+
+// writeBackVictim implements the lazy update policy's eviction path: the
+// parent nonce for the victim is incremented, the victim's MAC is
+// rebound to the new nonce, and the victim is persisted. Under ASIT the
+// parent's shadow entry is refreshed (it was modified) and the victim's
+// shadow slot is cleared (its NVM copy is now current) — all within the
+// surrounding operation's atomic group.
+func (c *SGX) writeBackVictim(v *cache.Victim) error {
+	if v == nil || !v.Dirty {
+		return nil
+	}
+	r := c.refOfKey(v.Key)
+	if r.isLeaf {
+		delete(c.updateCount, r.idx)
+	}
+	g := counter.UnpackSGX(v.Data)
+
+	parent, slot, isRoot := c.parentOf(r)
+	var newParentCtr uint64
+	if isRoot {
+		if c.rootNode.Increment(slot) {
+			return fmt.Errorf("memctrl: root nonce wraparound")
+		}
+		newParentCtr = c.rootNode.Ctr[slot]
+		c.pending = append(c.pending, nvm.PendingWrite{RegName: regSGXRoot, Block: toBlock(packSGX(&c.rootNode))})
+	} else {
+		pline, err := c.getMeta(parent)
+		if err != nil {
+			return err
+		}
+		pg := counter.UnpackSGX(pline.Data)
+		if pg.Increment(slot) {
+			return fmt.Errorf("memctrl: nonce wraparound at level %d", parent.level)
+		}
+		pline.Data = pg.Pack()
+		c.mCache.MarkDirty(c.keyOf(parent))
+		newParentCtr = pg.Ctr[slot]
+		if c.cfg.Scheme == SchemeASIT {
+			if err := c.shadowMeta(parent, pline, &pg); err != nil {
+				return err
+			}
+		}
+	}
+
+	g.MAC = c.eng.SGXMAC(c.addrOf(r), g.Ctr[:], newParentCtr)
+	region, idx := c.regionIdx(r)
+	c.pending = append(c.pending, nvm.PendingWrite{Region: region, Index: idx, Block: g.Pack()})
+	// Under ASIT the victim's shadow entry is deliberately left in
+	// place: its MAC covers the full counter values, so recovering it
+	// onto the just-written-back copy reproduces the same state.
+	return nil
+}
+
+func toBlock(b []byte) (out [BlockBytes]byte) {
+	copy(out[:], b)
+	return out
+}
+
+// --- ASIT shadow table maintenance ----------------------------------------------
+
+// initShadowTree builds the volatile protection tree over the (empty)
+// shadow table and persists its root.
+func (c *SGX) initShadowTree() {
+	c.stNodes = make([][]merkle.GNode, c.stGeom.Levels())
+	for l := range c.stNodes {
+		c.stNodes[l] = make([]merkle.GNode, c.stGeom.NodesAt(l))
+	}
+	c.stRoot = merkle.BuildGeneral(c.stGeom, c.eng,
+		func(i uint64) [BlockBytes]byte { return c.st.Block(int(i)) },
+		func(flat uint64, n merkle.GNode) {
+			l, i := c.stGeom.Unflat(flat)
+			c.stNodes[l][i] = n
+		}, nil)
+	c.dev.SetReg64(regShadowTreeRoot, c.stRoot)
+}
+
+// refreshShadowPath recomputes the protection tree path above ST leaf
+// `slot` (eager update: SHADOW_TREE_ROOT always reflects the table) and
+// stages the new root register value.
+func (c *SGX) refreshShadowPath(slot int) {
+	childHash := c.eng.ContentHash(blockSlice(c.st.Block(slot)))
+	childIdx := uint64(slot)
+	for level := 0; level < c.stGeom.Levels(); level++ {
+		nodeIdx := childIdx / merkle.Arity
+		s := int(childIdx % merkle.Arity)
+		c.stNodes[level][nodeIdx].SetHash(s, childHash)
+		childHash = c.eng.ContentHash(c.stNodes[level][nodeIdx][:])
+		childIdx = nodeIdx
+	}
+	c.stRoot = childHash
+	var reg [BlockBytes]byte
+	putU64(reg[:], c.stRoot)
+	c.pending = append(c.pending, nvm.PendingWrite{RegName: regShadowTreeRoot, Block: reg})
+}
+
+func blockSlice(b [BlockBytes]byte) []byte { return b[:] }
+
+// shadowMeta writes the ASIT shadow entry for a modified metadata block:
+// address, MAC over the full updated counter values, and the 49-bit
+// counter LSBs (Figure 9b). Because the MAC covers the complete
+// counters (not just the shadow-stored LSBs), a stale entry left behind
+// by an eviction is self-consistent — recovery splices it onto the
+// freshly written-back node and reproduces the same state — so entries
+// never need to be cleared. A 49-bit LSB overflow forces the node
+// itself to be persisted so the in-memory MSBs stay current.
+func (c *SGX) shadowMeta(r metaRef, line *cache.Line, g *counter.SGX) error {
+	mac := c.eng.STMAC(c.addrOf(r), g.Ctr[:])
+	var e shadow.STEntry
+	e.Key = c.keyOf(r)
+	e.MAC = mac
+	overflow := false
+	for i := 0; i < counter.SGXCounters; i++ {
+		e.LSBs[i] = g.Ctr[i] & counter.LSBMask
+		if g.Ctr[i] != 0 && e.LSBs[i] == 0 {
+			overflow = true
+		}
+	}
+	bi, blk := c.st.Set(line.Slot(), e)
+	c.stats.ShadowWrites++
+	c.pending = append(c.pending, nvm.PendingWrite{Region: nvm.RegionST, Index: bi, Block: blk})
+	c.refreshShadowPath(line.Slot())
+	if overflow {
+		// Persist the node so recovery's MSB splice stays exact. The
+		// NVM copy needs a run-time MAC bound to the parent counter to
+		// pass fetch verification later.
+		pc, err := c.parentCounterOf(r)
+		if err != nil {
+			return err
+		}
+		persisted := *g
+		persisted.MAC = c.eng.SGXMAC(c.addrOf(r), g.Ctr[:], pc)
+		region, idx := c.regionIdx(r)
+		c.stats.StopLossWrites++
+		c.pending = append(c.pending, nvm.PendingWrite{Region: region, Index: idx, Block: persisted.Pack()})
+	}
+	return nil
+}
+
+// --- data path --------------------------------------------------------------------
+
+func (c *SGX) checkAddr(idx uint64) error {
+	if c.crashed {
+		return fmt.Errorf("memctrl: controller is crashed; call Recover first")
+	}
+	if idx >= c.numBlocks {
+		return fmt.Errorf("memctrl: block %d out of range (%d blocks)", idx, c.numBlocks)
+	}
+	return nil
+}
+
+// ReadBlock decrypts and verifies one data block.
+func (c *SGX) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
+	var zero [BlockBytes]byte
+	if err := c.checkAddr(idx); err != nil {
+		return zero, err
+	}
+	c.stats.ReadRequests++
+	leaf, lane := idx/counter.SGXCounters, int(idx%counter.SGXCounters)
+
+	start := c.now
+	phys := c.wl.phys(idx)
+	ct, dataDone := c.dev.ReadAt(nvm.RegionData, phys, start)
+	line, err := c.getMeta(metaRef{isLeaf: true, idx: leaf})
+	if err != nil {
+		c.finishOp()
+		return zero, err
+	}
+	g := counter.UnpackSGX(line.Data)
+	if dataDone > c.now {
+		c.now = dataDone
+	}
+	c.now += c.cfg.HashNS
+	if err := c.finishOp(); err != nil {
+		return zero, err
+	}
+
+	if !c.dev.Has(nvm.RegionData, phys) {
+		return zero, nil
+	}
+	ctr := g.Ctr[lane]
+	pt := c.eng.Decrypt(idx, ctr, ct[:])
+	side := c.dev.ReadSideband(phys)
+	if !ecc.CheckBlock(pt, side.ECC) {
+		return zero, &IntegrityError{What: "data ECC mismatch", Addr: idx}
+	}
+	if c.eng.DataMAC(idx, ctr, pt) != side.MAC {
+		return zero, &IntegrityError{What: "data MAC mismatch", Addr: idx}
+	}
+	var out [BlockBytes]byte
+	copy(out[:], pt)
+	return out, nil
+}
+
+// WriteBlock encrypts and persists one data block plus the metadata
+// updates of the configured scheme, atomically.
+func (c *SGX) WriteBlock(idx uint64, data [BlockBytes]byte) error {
+	if err := c.checkAddr(idx); err != nil {
+		return err
+	}
+	c.stats.WriteRequests++
+	leaf, lane := idx/counter.SGXCounters, int(idx%counter.SGXCounters)
+
+	r := metaRef{isLeaf: true, idx: leaf}
+	line, err := c.getMeta(r)
+	if err != nil {
+		c.finishOp()
+		return err
+	}
+	g := counter.UnpackSGX(line.Data)
+	if g.Increment(lane) {
+		return fmt.Errorf("memctrl: 56-bit encryption counter wraparound")
+	}
+	line.Data = g.Pack()
+
+	switch c.cfg.Scheme {
+	case SchemeStrict:
+		if err := c.strictPropagate(r, line, &g); err != nil {
+			c.finishOp()
+			return err
+		}
+	case SchemeOsiris:
+		c.mCache.MarkDirty(c.keyOf(r))
+		c.updateCount[leaf]++
+		if c.updateCount[leaf] >= c.cfg.StopLoss {
+			c.updateCount[leaf] = 0
+			c.stats.StopLossWrites++
+			c.mCache.Pin(c.keyOf(r))
+			pc, err := c.parentCounterOf(r)
+			c.mCache.Unpin(c.keyOf(r))
+			if err != nil {
+				c.finishOp()
+				return err
+			}
+			persisted := g
+			persisted.MAC = c.eng.SGXMAC(c.addrOf(r), g.Ctr[:], pc)
+			c.pending = append(c.pending, nvm.PendingWrite{Region: nvm.RegionCounter, Index: leaf, Block: persisted.Pack()})
+		}
+	case SchemeASIT:
+		c.mCache.MarkDirty(c.keyOf(r))
+		// Pin the leaf: shadowMeta fetches the parent, and the eviction
+		// chain that fetch can trigger must not displace the line whose
+		// slot the shadow entry is being written for.
+		c.mCache.Pin(c.keyOf(r))
+		err := c.shadowMeta(r, line, &g)
+		c.mCache.Unpin(c.keyOf(r))
+		if err != nil {
+			c.finishOp()
+			return err
+		}
+	default: // WriteBack
+		c.mCache.MarkDirty(c.keyOf(r))
+	}
+
+	ctr := g.Ctr[lane]
+	ct := c.eng.Encrypt(idx, ctr, data[:])
+	side := nvm.Sideband{ECC: ecc.EncodeBlock(data[:]), MAC: c.eng.DataMAC(idx, ctr, data[:])}
+	c.pending = append(c.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: c.wl.phys(idx), Block: toBlock(ct), HasSide: true, Side: side})
+
+	c.now += c.cfg.HashNS
+	if err := c.finishOp(); err != nil {
+		return err
+	}
+	c.now = c.wl.recordWrite(c.now)
+	return nil
+}
+
+// strictPropagate implements strict persistence on the SGX tree: the
+// write propagates to the root eagerly — every ancestor nonce is
+// incremented, every node on the path has its MAC rebound and is
+// persisted immediately (≥ levels+1 NVM writes per memory write).
+// The current node stays pinned while its parent is fetched so eviction
+// chains triggered by the fetch cannot displace it.
+func (c *SGX) strictPropagate(r metaRef, line *cache.Line, g *counter.SGX) error {
+	cur := r
+	curLine := line
+	curG := *g
+	c.mCache.Pin(c.keyOf(cur))
+	defer func() { c.mCache.Unpin(c.keyOf(cur)) }()
+	for {
+		parent, slot, isRoot := c.parentOf(cur)
+		if isRoot {
+			if c.rootNode.Increment(slot) {
+				return fmt.Errorf("memctrl: root nonce wraparound")
+			}
+			curG.MAC = c.eng.SGXMAC(c.addrOf(cur), curG.Ctr[:], c.rootNode.Ctr[slot])
+			curLine.Data = curG.Pack()
+			region, idx := c.regionIdx(cur)
+			c.stats.StrictWrites++
+			c.pending = append(c.pending, nvm.PendingWrite{Region: region, Index: idx, Block: curLine.Data})
+			c.pending = append(c.pending, nvm.PendingWrite{RegName: regSGXRoot, Block: toBlock(packSGX(&c.rootNode))})
+			return nil
+		}
+		pline, err := c.getMeta(parent)
+		if err != nil {
+			return err
+		}
+		c.mCache.Pin(c.keyOf(parent))
+		pg := counter.UnpackSGX(pline.Data)
+		if pg.Increment(slot) {
+			c.mCache.Unpin(c.keyOf(parent))
+			return fmt.Errorf("memctrl: nonce wraparound at level %d", parent.level)
+		}
+		pline.Data = pg.Pack()
+		curG.MAC = c.eng.SGXMAC(c.addrOf(cur), curG.Ctr[:], pg.Ctr[slot])
+		curLine.Data = curG.Pack()
+		region, idx := c.regionIdx(cur)
+		c.stats.StrictWrites++
+		c.pending = append(c.pending, nvm.PendingWrite{Region: region, Index: idx, Block: curLine.Data})
+		c.mCache.Unpin(c.keyOf(cur))
+		cur, curLine, curG = parent, pline, pg
+		// cur (the old parent) is already pinned; the deferred unpin
+		// releases whichever node is current when the loop exits.
+	}
+}
+
+// drainWBQ writes back every victim parked in the writeback buffer.
+// Draining can fetch ancestors, whose fills may park further victims;
+// the loop runs until the buffer is empty. A drained victim's block can
+// also be pulled back into the cache by a fetch mid-drain, in which
+// case its queue entry has been removed and the writeback is cancelled.
+func (c *SGX) drainWBQ() error {
+	for len(c.wbq) > 0 {
+		v := c.wbq[0]
+		c.wbq = c.wbq[1:]
+		if err := c.writeBackVictim(&v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishOp completes an operation: drain pending writebacks, then
+// commit the atomic group.
+func (c *SGX) finishOp() error {
+	err := c.drainWBQ()
+	c.commitPending()
+	return err
+}
+
+// commitPending drains the operation's atomic group (two-stage commit).
+func (c *SGX) commitPending() {
+	if len(c.pending) == 0 {
+		return
+	}
+	c.dev.BeginCommit()
+	for _, w := range c.pending {
+		c.dev.Stage(w)
+	}
+	c.now = c.dev.CommitGroup(c.now)
+	c.pending = c.pending[:0]
+}
+
+// --- lifecycle ----------------------------------------------------------------------
+
+// FlushCaches writes back all dirty metadata through the regular
+// eviction path (parent nonces are bumped and MACs rebound), leaving
+// NVM fully consistent.
+func (c *SGX) FlushCaches() {
+	// Iterate until stable: writing a block back dirties its parent.
+	for {
+		var dirty []uint64
+		c.mCache.Iterate(func(l *cache.Line) {
+			if l.Dirty {
+				dirty = append(dirty, l.Key)
+			}
+		})
+		if len(dirty) == 0 {
+			break
+		}
+		for _, key := range dirty {
+			l, ok := c.mCache.Peek(key)
+			if !ok || !l.Dirty {
+				continue
+			}
+			v := &cache.Victim{Key: key, Data: l.Data, Dirty: true, Slot: l.Slot()}
+			l.Dirty = false
+			if err := c.writeBackVictim(v); err != nil {
+				panic("memctrl: flush writeback failed: " + err.Error())
+			}
+			if err := c.drainWBQ(); err != nil {
+				panic("memctrl: flush drain failed: " + err.Error())
+			}
+		}
+		c.commitPending()
+	}
+}
+
+// Crash models a power failure.
+func (c *SGX) Crash() {
+	c.dev.Crash()
+	c.mCache.DropAll()
+	for k := range c.updateCount {
+		delete(c.updateCount, k)
+	}
+	c.pending = c.pending[:0]
+	c.wbq = c.wbq[:0]
+	c.rootNode = counter.SGX{}
+	if c.cfg.Scheme == SchemeASIT {
+		c.st = shadow.NewSTTable(c.mCache.NumSlots())
+		c.stRoot = 0
+		// Volatile protection tree is lost; recovery rebuilds it.
+		for l := range c.stNodes {
+			for i := range c.stNodes[l] {
+				c.stNodes[l][i] = merkle.GNode{}
+			}
+		}
+	}
+	c.crashed = true
+}
+
+// Scheme returns the configured scheme.
+func (c *SGX) Scheme() Scheme { return c.cfg.Scheme }
+
+// NumBlocks returns the data block count.
+func (c *SGX) NumBlocks() uint64 { return c.numBlocks }
+
+// Device exposes the NVM device.
+func (c *SGX) Device() *nvm.Device { return c.dev }
+
+// Now returns the controller's virtual time.
+func (c *SGX) Now() uint64 { return c.now }
+
+// AdvanceTo moves virtual time forward.
+func (c *SGX) AdvanceTo(t uint64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Stats returns run-time statistics.
+func (c *SGX) Stats() RunStats {
+	s := c.stats
+	s.NVM = c.dev.Stats()
+	s.TreeCache = c.mCache.Stats()
+	return s
+}

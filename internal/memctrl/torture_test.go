@@ -1,0 +1,266 @@
+package memctrl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestASITStaleSlotReuseRegression reproduces the stale shadow-entry
+// scenario that once recovered an outdated node state: a block is
+// written back (NVM fresh), its newest shadow entry's slot is reused by
+// another block, and an older entry for it survives. Recovery must not
+// resurrect the outdated state. Found with seed 7 at this exact scale;
+// kept as a regression.
+func TestASITStaleSlotReuseRegression(t *testing.T) {
+	cfg := DefaultConfig(SchemeASIT)
+	cfg.MemoryBytes = 32 << 20
+	cfg.CounterCacheBlocks = 512
+	cfg.TreeCacheBlocks = 512
+	cfg.MetaCacheBlocks = 1024
+	c, err := NewSGX(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	expect := map[uint64][BlockBytes]byte{}
+	for i := 0; i < 2000; i++ {
+		addr := uint64(rng.Intn(int(c.NumBlocks())))
+		var d [BlockBytes]byte
+		rng.Read(d[:])
+		if err := c.WriteBlock(addr, d); err != nil {
+			t.Fatal(err)
+		}
+		expect[addr] = d
+	}
+	c.Crash()
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range expect {
+		got, err := c.ReadBlock(addr)
+		if err != nil {
+			t.Fatalf("block %d: %v", addr, err)
+		}
+		if got != want {
+			t.Fatalf("block %d corrupted", addr)
+		}
+	}
+}
+
+// tortureRound writes, optionally flushes, crashes, recovers, and
+// verifies everything written so far.
+func tortureRound(t *testing.T, ctrl Controller, rng *rand.Rand, expect map[uint64][BlockBytes]byte, writes int, flush bool) {
+	t.Helper()
+	for i := 0; i < writes; i++ {
+		addr := uint64(rng.Intn(int(ctrl.NumBlocks())))
+		var d [BlockBytes]byte
+		rng.Read(d[:])
+		if err := ctrl.WriteBlock(addr, d); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		expect[addr] = d
+		// Interleave reads to move LRU state around.
+		if i%3 == 0 {
+			raddr := uint64(rng.Intn(int(ctrl.NumBlocks())))
+			if _, err := ctrl.ReadBlock(raddr); err != nil {
+				t.Fatalf("read: %v", err)
+			}
+		}
+	}
+	if flush {
+		ctrl.FlushCaches()
+	}
+	ctrl.Crash()
+	if _, err := ctrl.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	for addr, want := range expect {
+		got, err := ctrl.ReadBlock(addr)
+		if err != nil {
+			t.Fatalf("verify block %d: %v", addr, err)
+		}
+		if got != want {
+			t.Fatalf("verify block %d: corrupted", addr)
+		}
+	}
+}
+
+// TestTortureCrashLoops hammers every recoverable scheme with repeated
+// dirty and clean crashes under heavy eviction pressure, verifying the
+// full written set after each recovery.
+func TestTortureCrashLoops(t *testing.T) {
+	cases := []struct {
+		name   string
+		scheme Scheme
+		sgx    bool
+	}{
+		{"strict-bonsai", SchemeStrict, false},
+		{"osiris-full", SchemeOsiris, false},
+		{"agit-read", SchemeAGITRead, false},
+		{"agit-plus", SchemeAGITPlus, false},
+		{"strict-sgx", SchemeStrict, true},
+		{"asit", SchemeASIT, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := TestConfig(tc.scheme)
+			cfg.MemoryBytes = 4 << 20
+			var ctrl Controller
+			var err error
+			if tc.sgx {
+				ctrl, err = NewSGX(cfg)
+			} else {
+				ctrl, err = NewBonsai(cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1234))
+			expect := map[uint64][BlockBytes]byte{}
+			for round := 0; round < 6; round++ {
+				tortureRound(t, ctrl, rng, expect, 250, round%3 == 2)
+			}
+		})
+	}
+}
+
+// TestCrashAtEveryPointStrict interrupts the WPQ drain after every
+// possible number of pushes within a write's commit group and checks
+// that recovery always yields the committed value (all-or-nothing).
+func TestCrashAtEveryPointStrict(t *testing.T) {
+	for budget := 0; budget < 8; budget++ {
+		b, err := NewBonsai(TestConfig(SchemeStrict))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteBlock(9, pattern(1)); err != nil {
+			t.Fatal(err)
+		}
+		b.Device().SetPushBudget(budget)
+		if err := b.WriteBlock(9, pattern(2)); err != nil {
+			t.Fatal(err)
+		}
+		b.Device().SetPushBudget(-1)
+		b.Crash()
+		if _, err := b.Recover(); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		got, err := b.ReadBlock(9)
+		if err != nil {
+			t.Fatalf("budget %d: read: %v", budget, err)
+		}
+		if got != pattern(2) {
+			t.Fatalf("budget %d: committed write lost", budget)
+		}
+	}
+}
+
+// TestCrashAtEveryPointASIT does the same for the SGX/ASIT family.
+func TestCrashAtEveryPointASIT(t *testing.T) {
+	for budget := 0; budget < 8; budget++ {
+		c, err := NewSGX(TestConfig(SchemeASIT))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteBlock(9, pattern(1)); err != nil {
+			t.Fatal(err)
+		}
+		c.Device().SetPushBudget(budget)
+		if err := c.WriteBlock(9, pattern(2)); err != nil {
+			t.Fatal(err)
+		}
+		c.Device().SetPushBudget(-1)
+		c.Crash()
+		if _, err := c.Recover(); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		got, err := c.ReadBlock(9)
+		if err != nil {
+			t.Fatalf("budget %d: read: %v", budget, err)
+		}
+		if got != pattern(2) {
+			t.Fatalf("budget %d: committed write lost", budget)
+		}
+	}
+}
+
+// TestRandomSeedsSoak runs shorter crash loops across many seeds for
+// the two Anubis schemes, hunting for ordering- and slot-reuse bugs.
+func TestRandomSeedsSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		for _, sgx := range []bool{false, true} {
+			scheme := SchemeAGITPlus
+			if sgx {
+				scheme = SchemeASIT
+			}
+			cfg := TestConfig(scheme)
+			var ctrl Controller
+			var err error
+			if sgx {
+				ctrl, err = NewSGX(cfg)
+			} else {
+				ctrl, err = NewBonsai(cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			expect := map[uint64][BlockBytes]byte{}
+			for round := 0; round < 3; round++ {
+				tortureRound(t, ctrl, rng, expect, 150, false)
+			}
+		}
+	}
+}
+
+// TestRecoverTwiceIsIdempotent ensures recovering an already-recovered
+// (consistent) system succeeds and changes nothing.
+func TestRecoverTwiceIsIdempotent(t *testing.T) {
+	b, err := NewBonsai(TestConfig(SchemeAGITPlus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteBlock(1, pattern(1))
+	b.Crash()
+	if _, err := b.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	b.Crash()
+	rep, err := b.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CountersFixed != 0 {
+		t.Fatalf("second recovery fixed %d counters", rep.CountersFixed)
+	}
+	got, err := b.ReadBlock(1)
+	if err != nil || got != pattern(1) {
+		t.Fatalf("read after double recovery: %v", err)
+	}
+}
+
+// TestWriteBackDetectsItsOwnInconsistency: after a dirty write-back
+// crash, reads must fail with an integrity violation rather than
+// silently returning stale data for blocks whose counters were lost.
+func TestWriteBackDetectsItsOwnInconsistency(t *testing.T) {
+	b, err := NewBonsai(TestConfig(SchemeWriteBack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write the same block repeatedly so the cached counter drifts far
+	// ahead of NVM.
+	for i := 0; i < 10; i++ {
+		b.WriteBlock(0, pattern(uint64(i)))
+	}
+	b.Crash()
+	b.Recover() // returns ErrNotRecoverable; controller serviceable
+	_, rerr := b.ReadBlock(0)
+	var ie *IntegrityError
+	if !errors.As(rerr, &ie) {
+		t.Fatalf("stale-counter read = %v, want IntegrityError", rerr)
+	}
+}

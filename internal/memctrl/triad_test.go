@@ -1,0 +1,130 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newTriad(t *testing.T, levels int) *Bonsai {
+	t.Helper()
+	cfg := TestConfig(SchemeTriad)
+	cfg.TriadLevels = levels
+	b, err := NewBonsai(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTriadRecoversAtEveryLevel(t *testing.T) {
+	for levels := 0; levels <= 3; levels++ {
+		b := newTriad(t, levels)
+		rng := rand.New(rand.NewSource(int64(levels)))
+		expect := map[uint64][BlockBytes]byte{}
+		for i := 0; i < 300; i++ {
+			addr := uint64(rng.Intn(int(b.NumBlocks())))
+			d := pattern(uint64(i))
+			if err := b.WriteBlock(addr, d); err != nil {
+				t.Fatalf("levels %d: %v", levels, err)
+			}
+			expect[addr] = d
+		}
+		b.Crash()
+		if _, err := b.Recover(); err != nil {
+			t.Fatalf("levels %d: %v", levels, err)
+		}
+		for addr, want := range expect {
+			got, err := b.ReadBlock(addr)
+			if err != nil || got != want {
+				t.Fatalf("levels %d block %d: %v", levels, addr, err)
+			}
+		}
+	}
+}
+
+func TestTriadRecoveryCostDropsWithLevels(t *testing.T) {
+	// The Triad-NVM trade-off: each persisted level divides the rebuild
+	// work by the tree arity.
+	ops := func(levels int) uint64 {
+		b := newTriad(t, levels)
+		for i := uint64(0); i < 200; i++ {
+			b.WriteBlock(i*64%b.NumBlocks(), pattern(i))
+		}
+		b.Crash()
+		rep, err := b.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.FetchOps + rep.CryptoOps
+	}
+	l0, l1, l2 := ops(0), ops(1), ops(2)
+	if !(l0 > l1 && l1 > l2) {
+		t.Fatalf("recovery ops not decreasing with persisted levels: %d, %d, %d", l0, l1, l2)
+	}
+}
+
+func TestTriadRuntimeCostGrowsWithLevels(t *testing.T) {
+	run := func(levels int) uint64 {
+		cfg := TestConfig(SchemeTriad)
+		cfg.TriadLevels = levels
+		b, err := NewBonsai(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 2000; i++ {
+			b.AdvanceTo(b.Now() + 50)
+			if err := b.WriteBlock((i*97)%b.NumBlocks(), pattern(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.Now()
+	}
+	if run(3) <= run(0) {
+		t.Fatal("persisting more levels should cost more run time")
+	}
+}
+
+func TestTriadNoDataReadsDuringRecovery(t *testing.T) {
+	// Unlike Osiris, Triad never touches data blocks at recovery:
+	// counters are strictly persisted.
+	b := newTriad(t, 1)
+	for i := uint64(0); i < 200; i++ {
+		b.WriteBlock(i*63%b.NumBlocks(), pattern(i))
+	}
+	b.Crash()
+	rep, err := b.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CountersFixed != 0 {
+		t.Fatalf("triad fixed %d counters; they are strictly persisted", rep.CountersFixed)
+	}
+}
+
+func TestTriadCrashLoop(t *testing.T) {
+	b := newTriad(t, 2)
+	rng := rand.New(rand.NewSource(17))
+	expect := map[uint64][BlockBytes]byte{}
+	for round := 0; round < 4; round++ {
+		tortureRound(t, b, rng, expect, 200, round == 2)
+	}
+}
+
+func TestTriadLevelsBeyondTreeHeight(t *testing.T) {
+	// TriadLevels larger than the tree degenerates to strict persistence
+	// of the whole path; recovery must still work.
+	b := newTriad(t, 99)
+	b.WriteBlock(7, pattern(7))
+	b.Crash()
+	rep, err := b.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NodesRebuilt != 0 {
+		t.Fatalf("fully persisted tree rebuilt %d nodes", rep.NodesRebuilt)
+	}
+	got, err := b.ReadBlock(7)
+	if err != nil || got != pattern(7) {
+		t.Fatalf("read: %v", err)
+	}
+}

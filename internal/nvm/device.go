@@ -1,0 +1,548 @@
+// Package nvm models the non-volatile main memory of a secure-NVM
+// system, together with the persistence machinery of the memory
+// controller's NVM-facing side:
+//
+//   - a sparse, banked PCM-like block device with read/write timing and
+//     bank occupancy (Table 1 of the paper: 60 ns reads, 150 ns writes);
+//   - the Write Pending Queue (WPQ): a small buffer inside the ADR
+//     (Asynchronous DRAM Refresh) persistence domain. A write is durable
+//     the moment it enters the WPQ, because ADR guarantees enough
+//     residual energy to drain it to media on power loss (§2.7);
+//   - on-chip persistent registers with a DONE_BIT, implementing the
+//     paper's two-stage REDO-style atomic commit of a data write together
+//     with all of its security-metadata updates (Figure 4);
+//   - a small persistent register file for the handful of root values a
+//     secure processor keeps on chip (Merkle root, SGX root nonces,
+//     SHADOW_TREE_ROOT).
+//
+// Crash semantics: everything written through the WPQ, the persistent
+// registers, and the register file survive Crash(); nothing else does
+// (caches and other volatile controller state live outside this
+// package and are dropped by their owners).
+package nvm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlockBytes is the device block (cache line) size.
+const BlockBytes = 64
+
+// Region identifies a physical carve-out of the NVM address space.
+// Each region has its own block index space.
+type Region uint8
+
+const (
+	// RegionData holds user data blocks (with ECC+MAC sideband).
+	RegionData Region = iota
+	// RegionCounter holds encryption counter blocks.
+	RegionCounter
+	// RegionTree holds integrity tree nodes.
+	RegionTree
+	// RegionSCT is the Shadow Counter Table (AGIT).
+	RegionSCT
+	// RegionSMT is the Shadow Merkle-tree Table (AGIT).
+	RegionSMT
+	// RegionST is the combined Shadow Table (ASIT).
+	RegionST
+	numRegions
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionData:
+		return "data"
+	case RegionCounter:
+		return "counter"
+	case RegionTree:
+		return "tree"
+	case RegionSCT:
+		return "sct"
+	case RegionSMT:
+		return "smt"
+	case RegionST:
+		return "st"
+	}
+	return fmt.Sprintf("region(%d)", uint8(r))
+}
+
+// Sideband is the per-data-block DIMM sideband: the SECDED check bytes
+// and the Bonsai data MAC, transferred together with the 64-byte block
+// (the Synergy layout the paper and Osiris assume). Phase optionally
+// carries the low bits of the encryption counter used for this block —
+// the paper's §2.4 "extending the data bus to include a portion of the
+// counter" alternative to ECC-trial recovery.
+type Sideband struct {
+	ECC   [8]uint8
+	MAC   uint64
+	Phase uint8
+}
+
+// Timing parameterizes the device's latency model.
+type Timing struct {
+	ReadNS     uint64 // media read latency
+	WriteNS    uint64 // media write latency
+	Banks      int    // independently schedulable banks (reads)
+	WPQEntries int    // write pending queue capacity
+	// WritePorts is the number of concurrent PCM write drains the power
+	// budget allows (write traffic beyond ports*1/WriteNS queues up).
+	WritePorts int
+	// DrainWatermark is the outstanding-write count above which the
+	// controller enters write-drain mode and arriving reads wait for the
+	// queue to fall back below the watermark — the standard high-
+	// watermark policy of DDR memory controllers. This is what couples
+	// metadata write amplification to read latency.
+	DrainWatermark int
+}
+
+// DefaultTiming matches Table 1 of the paper plus typical controller
+// parameters (bank-level parallelism, tens of WPQ entries).
+func DefaultTiming() Timing {
+	return Timing{ReadNS: 60, WriteNS: 150, Banks: 4, WritePorts: 2, WPQEntries: 32, DrainWatermark: 16}
+}
+
+// Stats accumulates device activity.
+type Stats struct {
+	Reads          uint64
+	Writes         uint64
+	WritesByRegion [numRegions]uint64
+	ReadsByRegion  [numRegions]uint64
+	WPQStallNS     uint64 // time callers spent waiting for a WPQ slot
+	DrainStallNS   uint64 // time reads spent blocked by write-drain mode
+}
+
+// WritesTo returns the write count for one region.
+func (s Stats) WritesTo(r Region) uint64 { return s.WritesByRegion[r] }
+
+// ReadsFrom returns the read count for one region.
+func (s Stats) ReadsFrom(r Region) uint64 { return s.ReadsByRegion[r] }
+
+// PendingWrite is one entry staged for durable write-out. A PendingWrite
+// with RegName set targets an on-chip persistent register instead of an
+// NVM block; including register updates in a commit group makes root
+// values update atomically with the tree/counter writes they authenticate.
+type PendingWrite struct {
+	Region  Region
+	Index   uint64
+	Block   [BlockBytes]byte
+	HasSide bool
+	Side    Sideband
+	RegName string // when non-empty: register write, Region/Index ignored
+}
+
+// Device is the NVM DIMM plus WPQ plus persistent registers. It is not
+// safe for concurrent use.
+type Device struct {
+	timing Timing
+
+	store [numRegions]map[uint64][BlockBytes]byte
+	side  map[uint64]Sideband
+
+	bankFree  []uint64 // per-bank next-free time for reads (ns)
+	writeFree []uint64 // per-write-port next-free time (PCM writes are drain-limited)
+	wpqDone   []uint64 // completion times of writes still occupying the WPQ
+
+	stats Stats
+
+	// Two-stage commit state (persistent; survives Crash).
+	staged  []PendingWrite
+	doneBit bool
+	// pushBudget limits how many staged entries Commit may drain before a
+	// simulated power loss; -1 means unlimited. Test hook for §2.7.
+	pushBudget int
+
+	// regs is the on-chip persistent register file.
+	regs map[string][BlockBytes]byte
+
+	// wear counts media writes per block, for endurance analysis: PCM
+	// cells endure ~10^8 writes, so the hottest block bounds lifetime.
+	wear [numRegions]map[uint64]uint64
+}
+
+// NewDevice creates an empty device with the given timing.
+func NewDevice(t Timing) *Device {
+	if t.Banks <= 0 || t.WPQEntries <= 0 {
+		panic("nvm: timing needs at least one bank and one WPQ entry")
+	}
+	if t.WritePorts <= 0 {
+		t.WritePorts = 1
+	}
+	d := &Device{
+		timing:     t,
+		side:       make(map[uint64]Sideband),
+		bankFree:   make([]uint64, t.Banks),
+		writeFree:  make([]uint64, t.WritePorts),
+		regs:       make(map[string][BlockBytes]byte),
+		pushBudget: -1,
+	}
+	for r := range d.store {
+		d.store[r] = make(map[uint64][BlockBytes]byte)
+		d.wear[r] = make(map[uint64]uint64)
+	}
+	return d
+}
+
+// Timing returns the device's timing parameters.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Stats returns a snapshot of accumulated statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the accumulated statistics (e.g. after controller
+// initialization, so measurements cover only the workload).
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+func (d *Device) bankOf(r Region, idx uint64) int {
+	h := (idx ^ uint64(r)<<40) * 0x9e3779b97f4a7c15
+	return int(h>>32) % d.timing.Banks
+}
+
+// ReadAt reads a block, returning its contents and the completion time
+// given the request arrives at time now. A read arriving while the
+// write queue is above the drain watermark waits until enough writes
+// have drained (write-drain mode blocks reads).
+func (d *Device) ReadAt(r Region, idx uint64, now uint64) ([BlockBytes]byte, uint64) {
+	d.stats.Reads++
+	d.stats.ReadsByRegion[r]++
+	start := now
+	if wm := d.timing.DrainWatermark; wm > 0 {
+		d.wpqPrune(now)
+		if excess := len(d.wpqDone) - wm; excess >= 0 {
+			// Wait for the (excess+1)-th earliest completion, after which
+			// the queue is back below the watermark.
+			t := nthSmallest(d.wpqDone, excess)
+			if t > start {
+				d.stats.DrainStallNS += t - start
+				start = t
+			}
+		}
+	}
+	b := d.bankOf(r, idx)
+	if d.bankFree[b] > start {
+		start = d.bankFree[b]
+	}
+	done := start + d.timing.ReadNS
+	d.bankFree[b] = done
+	return d.store[r][idx], done
+}
+
+// nthSmallest returns the n-th smallest element (0-based) of a small
+// slice without mutating it.
+func nthSmallest(xs []uint64, n int) uint64 {
+	cp := append([]uint64(nil), xs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	if n >= len(cp) {
+		n = len(cp) - 1
+	}
+	return cp[n]
+}
+
+// Read reads a block without timing (recovery paths account their own
+// time with the paper's 100 ns/op model).
+func (d *Device) Read(r Region, idx uint64) [BlockBytes]byte {
+	d.stats.Reads++
+	d.stats.ReadsByRegion[r]++
+	return d.store[r][idx]
+}
+
+// ReadSideband returns the ECC+MAC sideband of a data block.
+func (d *Device) ReadSideband(idx uint64) Sideband {
+	return d.side[idx]
+}
+
+// Has reports whether a block was ever written. Controllers use it to
+// distinguish never-initialized blocks (logical zeros with well-defined
+// default metadata) from genuinely stored content.
+func (d *Device) Has(r Region, idx uint64) bool {
+	_, ok := d.store[r][idx]
+	return ok
+}
+
+// wpqPrune drops completed writes from the queue occupancy model.
+func (d *Device) wpqPrune(now uint64) {
+	keep := d.wpqDone[:0]
+	for _, t := range d.wpqDone {
+		if t > now {
+			keep = append(keep, t)
+		}
+	}
+	d.wpqDone = keep
+}
+
+// Push makes a write durable (it enters the ADR domain) and schedules
+// its drain to media. It returns the time at which the caller proceeds:
+// normally `now`, later if the WPQ was full and the caller had to stall.
+func (d *Device) Push(w PendingWrite, now uint64) uint64 {
+	if w.RegName != "" {
+		d.apply(w)
+		return now
+	}
+	d.wpqPrune(now)
+	for len(d.wpqDone) >= d.timing.WPQEntries {
+		// Stall until the earliest queued write completes.
+		earliest := d.wpqDone[0]
+		for _, t := range d.wpqDone {
+			if t < earliest {
+				earliest = t
+			}
+		}
+		d.stats.WPQStallNS += earliest - now
+		now = earliest
+		d.wpqPrune(now)
+	}
+	d.apply(w)
+	// PCM writes are slow and effectively serialize on the rank's write
+	// path (long write-recovery occupancy), which is what makes strict
+	// persistence's write amplification so expensive. The caller does
+	// not wait for the drain — only for a free WPQ slot above.
+	// Pick the earliest-free write port.
+	port := 0
+	for i := 1; i < len(d.writeFree); i++ {
+		if d.writeFree[i] < d.writeFree[port] {
+			port = i
+		}
+	}
+	start := now
+	if d.writeFree[port] > start {
+		start = d.writeFree[port]
+	}
+	done := start + d.timing.WriteNS
+	d.writeFree[port] = done
+	// The drain also occupies the target bank: reads to it wait out the
+	// write, which is how metadata write amplification inflates read
+	// latency even below saturation.
+	b := d.bankOf(w.Region, w.Index)
+	if done > d.bankFree[b] {
+		d.bankFree[b] = done
+	}
+	d.wpqDone = append(d.wpqDone, done)
+	return now
+}
+
+// apply commits a write to the persistent store (the functional effect
+// of reaching the ADR domain).
+func (d *Device) apply(w PendingWrite) {
+	if w.RegName != "" {
+		// On-chip register: durable immediately, no media traffic.
+		d.regs[w.RegName] = w.Block
+		return
+	}
+	d.stats.Writes++
+	d.stats.WritesByRegion[w.Region]++
+	d.wear[w.Region][w.Index]++
+	d.store[w.Region][w.Index] = w.Block
+	if w.HasSide {
+		if w.Region != RegionData {
+			panic("nvm: sideband write outside the data region")
+		}
+		d.side[w.Index] = w.Side
+	}
+}
+
+// WriteRaw bypasses WPQ and timing, installing a block directly. It is
+// intended for initialization (pre-filling memory images) and for
+// recovery code, which accounts its own time.
+func (d *Device) WriteRaw(r Region, idx uint64, blk [BlockBytes]byte) {
+	d.stats.Writes++
+	d.stats.WritesByRegion[r]++
+	d.wear[r][idx]++
+	d.store[r][idx] = blk
+}
+
+// WearOf returns the number of media writes a block has absorbed.
+func (d *Device) WearOf(r Region, idx uint64) uint64 {
+	return d.wear[r][idx]
+}
+
+// MaxWear returns the hottest block of a region and its write count —
+// the cell that dies first and therefore bounds device lifetime.
+func (d *Device) MaxWear(r Region) (idx, count uint64) {
+	for i, c := range d.wear[r] {
+		if c > count || (c == count && i < idx) {
+			idx, count = i, c
+		}
+	}
+	return idx, count
+}
+
+// MaxWearAll returns the hottest block across every region.
+func (d *Device) MaxWearAll() (r Region, idx, count uint64) {
+	for reg := Region(0); reg < numRegions; reg++ {
+		if i, c := d.MaxWear(reg); c > count {
+			r, idx, count = reg, i, c
+		}
+	}
+	return r, idx, count
+}
+
+// WriteRawData installs a data block with sideband, bypassing timing.
+func (d *Device) WriteRawData(idx uint64, blk [BlockBytes]byte, s Sideband) {
+	d.WriteRaw(RegionData, idx, blk)
+	d.side[idx] = s
+}
+
+// Erase removes a block from the medium (used by wear leveling when an
+// empty line rotates: the destination must not retain stale content).
+// It costs one media write.
+func (d *Device) Erase(r Region, idx uint64) {
+	d.stats.Writes++
+	d.stats.WritesByRegion[r]++
+	d.wear[r][idx]++
+	delete(d.store[r], idx)
+	if r == RegionData {
+		delete(d.side, idx)
+	}
+}
+
+// CorruptBlock XORs a mask into a stored block, modeling an attacker or
+// media fault. It reports whether the block existed.
+func (d *Device) CorruptBlock(r Region, idx uint64, byteIdx int, mask byte) bool {
+	blk, ok := d.store[r][idx]
+	if !ok {
+		return false
+	}
+	blk[byteIdx] ^= mask
+	d.store[r][idx] = blk
+	return true
+}
+
+// BlocksIn returns the sorted indices of blocks ever written in a region.
+func (d *Device) BlocksIn(r Region) []uint64 {
+	out := make([]uint64, 0, len(d.store[r]))
+	for idx := range d.store[r] {
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- two-stage commit (persistent registers + DONE_BIT) -------------------
+
+// BeginCommit starts staging a new atomic group. It panics if a previous
+// group is still open or committed-but-undrained (callers must have
+// completed or recovered it first).
+func (d *Device) BeginCommit() {
+	if d.doneBit {
+		panic("nvm: BeginCommit with DONE_BIT set; run RedoCommitted first")
+	}
+	d.staged = d.staged[:0]
+}
+
+// Stage adds a write to the open group. Nothing is durable yet: a crash
+// before CommitGroup discards the group entirely (the write never
+// reached the persistence domain, §2.7).
+func (d *Device) Stage(w PendingWrite) {
+	d.staged = append(d.staged, w)
+}
+
+// StagedLen returns the number of writes in the open group.
+func (d *Device) StagedLen() int { return len(d.staged) }
+
+// CommitGroup sets DONE_BIT (the group is now atomically durable in the
+// persistent registers) and drains the group into the WPQ. It returns
+// the caller-resume time. If the test hook pushBudget interrupts the
+// drain, the group stays resident with DONE_BIT set, exactly the state
+// RedoCommitted repairs.
+func (d *Device) CommitGroup(now uint64) uint64 {
+	if len(d.staged) == 0 {
+		return now
+	}
+	d.doneBit = true
+	for i := 0; i < len(d.staged); i++ {
+		if d.pushBudget == 0 {
+			return now // simulated power loss mid-drain
+		}
+		if d.pushBudget > 0 {
+			d.pushBudget--
+		}
+		now = d.Push(d.staged[i], now)
+	}
+	d.staged = d.staged[:0]
+	d.doneBit = false
+	return now
+}
+
+// DoneBit exposes the DONE_BIT for recovery logic and tests.
+func (d *Device) DoneBit() bool { return d.doneBit }
+
+// RedoCommitted re-drains a committed-but-interrupted group after a
+// crash. Safe to call unconditionally at recovery start; it is a no-op
+// when DONE_BIT is clear. Pushes are idempotent (REDO semantics).
+func (d *Device) RedoCommitted() int {
+	if !d.doneBit {
+		// A group staged but not committed never reached the persistence
+		// domain: discard it (the write is lost, as the paper specifies).
+		d.staged = d.staged[:0]
+		return 0
+	}
+	n := len(d.staged)
+	for _, w := range d.staged {
+		d.apply(w)
+	}
+	d.staged = d.staged[:0]
+	d.doneBit = false
+	return n
+}
+
+// SetPushBudget arms the mid-drain power-loss test hook: CommitGroup
+// will push at most n more entries. Pass -1 to disarm.
+func (d *Device) SetPushBudget(n int) { d.pushBudget = n }
+
+// --- persistent register file ---------------------------------------------
+
+// SetReg durably stores a named on-chip register value (≤ 64 bytes).
+func (d *Device) SetReg(name string, val []byte) {
+	if len(val) > BlockBytes {
+		panic("nvm: register value too large")
+	}
+	var b [BlockBytes]byte
+	copy(b[:], val)
+	d.regs[name] = b
+}
+
+// SetReg64 durably stores a named 8-byte register.
+func (d *Device) SetReg64(name string, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> uint(8*i))
+	}
+	d.SetReg(name, b[:])
+}
+
+// GetReg returns a named register value and whether it was ever set.
+func (d *Device) GetReg(name string) ([BlockBytes]byte, bool) {
+	v, ok := d.regs[name]
+	return v, ok
+}
+
+// GetReg64 returns a named 8-byte register.
+func (d *Device) GetReg64(name string) (uint64, bool) {
+	b, ok := d.regs[name]
+	if !ok {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << uint(8*i)
+	}
+	return v, true
+}
+
+// --- crash ------------------------------------------------------------------
+
+// Crash models a power failure: ADR has already made every pushed write
+// durable; staged-but-uncommitted groups are lost; committed groups and
+// registers survive. Timing state resets (the machine is off).
+func (d *Device) Crash() {
+	if !d.doneBit {
+		d.staged = d.staged[:0]
+	}
+	for i := range d.bankFree {
+		d.bankFree[i] = 0
+	}
+	for i := range d.writeFree {
+		d.writeFree[i] = 0
+	}
+	d.wpqDone = d.wpqDone[:0]
+}

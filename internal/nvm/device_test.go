@@ -1,0 +1,351 @@
+package nvm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func blk(b byte) (d [BlockBytes]byte) {
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func newDev() *Device { return NewDevice(DefaultTiming()) }
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	d := newDev()
+	if d.Read(RegionData, 42) != ([BlockBytes]byte{}) {
+		t.Fatal("unwritten block not zero")
+	}
+}
+
+func TestPushThenRead(t *testing.T) {
+	d := newDev()
+	d.Push(PendingWrite{Region: RegionCounter, Index: 7, Block: blk(3)}, 0)
+	if d.Read(RegionCounter, 7) != blk(3) {
+		t.Fatal("pushed write not visible")
+	}
+	// Other regions have independent index spaces.
+	if d.Read(RegionData, 7) != ([BlockBytes]byte{}) {
+		t.Fatal("write leaked across regions")
+	}
+}
+
+func TestSidebandStoredWithData(t *testing.T) {
+	d := newDev()
+	side := Sideband{MAC: 0xdead}
+	side.ECC[0] = 9
+	d.Push(PendingWrite{Region: RegionData, Index: 1, Block: blk(1), HasSide: true, Side: side}, 0)
+	if got := d.ReadSideband(1); got != side {
+		t.Fatalf("sideband = %+v, want %+v", got, side)
+	}
+}
+
+func TestSidebandOutsideDataPanics(t *testing.T) {
+	d := newDev()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Push(PendingWrite{Region: RegionTree, Index: 0, HasSide: true}, 0)
+}
+
+func TestReadTiming(t *testing.T) {
+	d := newDev()
+	_, done := d.ReadAt(RegionData, 5, 100)
+	if done != 100+d.Timing().ReadNS {
+		t.Fatalf("done = %d, want %d", done, 100+d.Timing().ReadNS)
+	}
+	// Back-to-back reads of the same bank serialize.
+	_, done2 := d.ReadAt(RegionData, 5, 100)
+	if done2 != done+d.Timing().ReadNS {
+		t.Fatalf("second read done = %d, want %d", done2, done+d.Timing().ReadNS)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	d := newDev()
+	// Find two indices on different banks.
+	var i, j uint64
+	found := false
+	for j = 1; j < 1000 && !found; j++ {
+		if d.bankOf(RegionData, 0) != d.bankOf(RegionData, j) {
+			found = true
+			i = 0
+			break
+		}
+	}
+	if !found {
+		t.Skip("no distinct banks found")
+	}
+	_, d1 := d.ReadAt(RegionData, i, 0)
+	_, d2 := d.ReadAt(RegionData, j, 0)
+	if d1 != d2 {
+		t.Fatalf("parallel banks should finish together: %d vs %d", d1, d2)
+	}
+}
+
+func TestWPQBackPressure(t *testing.T) {
+	tm := DefaultTiming()
+	tm.WPQEntries = 2
+	tm.Banks = 1
+	d := NewDevice(tm)
+	now := uint64(0)
+	// With one bank, write k completes at (k+1)*WriteNS. Queue holds 2.
+	now = d.Push(PendingWrite{Region: RegionData, Index: 0, Block: blk(0)}, now)
+	now = d.Push(PendingWrite{Region: RegionData, Index: 1, Block: blk(1)}, now)
+	if now != 0 {
+		t.Fatalf("first two pushes stalled: now=%d", now)
+	}
+	now = d.Push(PendingWrite{Region: RegionData, Index: 2, Block: blk(2)}, now)
+	if now == 0 {
+		t.Fatal("third push should stall on a full WPQ")
+	}
+	if d.Stats().WPQStallNS == 0 {
+		t.Fatal("stall time not accounted")
+	}
+}
+
+func TestWPQDrainFreesSlots(t *testing.T) {
+	tm := DefaultTiming()
+	tm.WPQEntries = 2
+	tm.Banks = 1
+	d := NewDevice(tm)
+	d.Push(PendingWrite{Region: RegionData, Index: 0}, 0)
+	d.Push(PendingWrite{Region: RegionData, Index: 1}, 0)
+	// At a late enough time both writes have drained: no stall.
+	late := uint64(10 * tm.WriteNS)
+	got := d.Push(PendingWrite{Region: RegionData, Index: 2}, late)
+	if got != late {
+		t.Fatalf("push at %d stalled to %d despite drained WPQ", late, got)
+	}
+}
+
+func TestStatsPerRegion(t *testing.T) {
+	d := newDev()
+	d.Push(PendingWrite{Region: RegionSCT, Index: 0}, 0)
+	d.Push(PendingWrite{Region: RegionSCT, Index: 1}, 0)
+	d.Read(RegionTree, 0)
+	s := d.Stats()
+	if s.WritesTo(RegionSCT) != 2 || s.Writes != 2 {
+		t.Fatalf("SCT writes = %d (total %d), want 2", s.WritesTo(RegionSCT), s.Writes)
+	}
+	if s.ReadsFrom(RegionTree) != 1 {
+		t.Fatalf("tree reads = %d, want 1", s.ReadsFrom(RegionTree))
+	}
+}
+
+func TestCorruptBlock(t *testing.T) {
+	d := newDev()
+	d.Push(PendingWrite{Region: RegionData, Index: 3, Block: blk(0xff)}, 0)
+	if !d.CorruptBlock(RegionData, 3, 10, 0x01) {
+		t.Fatal("corrupt failed on existing block")
+	}
+	got := d.Read(RegionData, 3)
+	if got[10] != 0xfe {
+		t.Fatalf("byte = %#x, want 0xfe", got[10])
+	}
+	if d.CorruptBlock(RegionData, 999, 0, 1) {
+		t.Fatal("corrupt succeeded on missing block")
+	}
+}
+
+func TestBlocksIn(t *testing.T) {
+	d := newDev()
+	for _, idx := range []uint64{9, 2, 5} {
+		d.WriteRaw(RegionCounter, idx, blk(byte(idx)))
+	}
+	got := d.BlocksIn(RegionCounter)
+	want := []uint64{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("BlocksIn = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BlocksIn = %v, want %v", got, want)
+		}
+	}
+}
+
+// --- two-stage commit ---
+
+func TestCommitGroupAllOrNothing(t *testing.T) {
+	d := newDev()
+	d.BeginCommit()
+	d.Stage(PendingWrite{Region: RegionData, Index: 0, Block: blk(1)})
+	d.Stage(PendingWrite{Region: RegionCounter, Index: 0, Block: blk(2)})
+	// Crash before CommitGroup: the group is lost entirely.
+	d.Crash()
+	if d.Read(RegionData, 0) != ([BlockBytes]byte{}) || d.Read(RegionCounter, 0) != ([BlockBytes]byte{}) {
+		t.Fatal("uncommitted group leaked into NVM")
+	}
+	if n := d.RedoCommitted(); n != 0 {
+		t.Fatalf("RedoCommitted redid %d writes of an uncommitted group", n)
+	}
+}
+
+func TestCommitGroupDurable(t *testing.T) {
+	d := newDev()
+	d.BeginCommit()
+	d.Stage(PendingWrite{Region: RegionData, Index: 1, Block: blk(7)})
+	d.CommitGroup(0)
+	d.Crash()
+	if d.Read(RegionData, 1) != blk(7) {
+		t.Fatal("committed write lost")
+	}
+	if d.DoneBit() {
+		t.Fatal("DONE_BIT set after full drain")
+	}
+}
+
+func TestCommitInterruptedMidDrainIsRedone(t *testing.T) {
+	d := newDev()
+	d.BeginCommit()
+	d.Stage(PendingWrite{Region: RegionData, Index: 0, Block: blk(1)})
+	d.Stage(PendingWrite{Region: RegionCounter, Index: 0, Block: blk(2)})
+	d.Stage(PendingWrite{Region: RegionTree, Index: 0, Block: blk(3)})
+	d.SetPushBudget(1) // power loss after the first push
+	d.CommitGroup(0)
+	if !d.DoneBit() {
+		t.Fatal("DONE_BIT should be set after an interrupted drain")
+	}
+	d.Crash()
+	// Recovery: the whole group must be reapplied (REDO is idempotent).
+	if n := d.RedoCommitted(); n != 3 {
+		t.Fatalf("RedoCommitted redid %d writes, want 3", n)
+	}
+	if d.Read(RegionData, 0) != blk(1) || d.Read(RegionCounter, 0) != blk(2) || d.Read(RegionTree, 0) != blk(3) {
+		t.Fatal("group not fully reapplied after recovery")
+	}
+	if d.DoneBit() {
+		t.Fatal("DONE_BIT not cleared by RedoCommitted")
+	}
+}
+
+func TestBeginCommitPanicsWithDoneBitSet(t *testing.T) {
+	d := newDev()
+	d.BeginCommit()
+	d.Stage(PendingWrite{Region: RegionData, Index: 0})
+	d.SetPushBudget(0)
+	d.CommitGroup(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.BeginCommit()
+}
+
+func TestEmptyCommitGroupIsNoop(t *testing.T) {
+	d := newDev()
+	d.BeginCommit()
+	if got := d.CommitGroup(123); got != 123 {
+		t.Fatalf("empty commit advanced time to %d", got)
+	}
+	if d.DoneBit() {
+		t.Fatal("DONE_BIT set by empty commit")
+	}
+}
+
+// --- persistent registers ---
+
+func TestRegisterFileSurvivesCrash(t *testing.T) {
+	d := newDev()
+	d.SetReg64("mt_root", 0xabcdef)
+	d.SetReg("blob", []byte{1, 2, 3})
+	d.Crash()
+	if v, ok := d.GetReg64("mt_root"); !ok || v != 0xabcdef {
+		t.Fatalf("mt_root = %#x,%v", v, ok)
+	}
+	if b, ok := d.GetReg("blob"); !ok || b[0] != 1 || b[2] != 3 {
+		t.Fatal("blob register lost")
+	}
+	if _, ok := d.GetReg("missing"); ok {
+		t.Fatal("missing register found")
+	}
+	if _, ok := d.GetReg64("missing"); ok {
+		t.Fatal("missing 64-bit register found")
+	}
+}
+
+func TestRegisterTooLargePanics(t *testing.T) {
+	d := newDev()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.SetReg("big", make([]byte, 65))
+}
+
+func TestReg64RoundTrip(t *testing.T) {
+	d := newDev()
+	f := func(v uint64) bool {
+		d.SetReg64("x", v)
+		got, ok := d.GetReg64("x")
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	names := map[Region]string{
+		RegionData: "data", RegionCounter: "counter", RegionTree: "tree",
+		RegionSCT: "sct", RegionSMT: "smt", RegionST: "st",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+	if Region(99).String() == "" {
+		t.Fatal("unknown region should still stringify")
+	}
+}
+
+func TestCrashResetsTimingState(t *testing.T) {
+	tm := DefaultTiming()
+	tm.Banks = 1
+	d := NewDevice(tm)
+	d.ReadAt(RegionData, 0, 0)
+	d.Crash()
+	_, done := d.ReadAt(RegionData, 0, 0)
+	if done != tm.ReadNS {
+		t.Fatalf("bank state survived crash: done=%d", done)
+	}
+}
+
+func TestNewDevicePanicsOnBadTiming(t *testing.T) {
+	for _, tm := range []Timing{{Banks: 0, WPQEntries: 1}, {Banks: 1, WPQEntries: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewDevice(tm)
+		}()
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	d := newDev()
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		now = d.Push(PendingWrite{Region: RegionData, Index: uint64(i) & 0xffff}, now)
+		now += 200 // mimic inter-arrival gaps so the WPQ drains
+	}
+}
+
+func BenchmarkReadAt(b *testing.B) {
+	d := newDev()
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		_, now = d.ReadAt(RegionData, uint64(i)&0xffff, now)
+	}
+}

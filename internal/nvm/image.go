@@ -1,0 +1,85 @@
+package nvm
+
+// Image persistence: a Device can be serialized to an io.Writer and
+// restored later, modeling a real NVM DIMM whose contents survive a
+// process (not just a power) cycle. The image captures everything in
+// the persistence domain — the block stores, data sideband, on-chip
+// persistent registers, committed-but-undrained groups, and wear
+// counters. Volatile timing state is deliberately excluded.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// imageMagic guards against feeding arbitrary files to Load.
+const imageMagic = "anubis-nvm-image-v1"
+
+// deviceImage is the serialized form of a Device.
+type deviceImage struct {
+	Magic  string
+	Timing Timing
+
+	Store [numRegions]map[uint64][BlockBytes]byte
+	Side  map[uint64]Sideband
+	Regs  map[string][BlockBytes]byte
+	Wear  [numRegions]map[uint64]uint64
+
+	Staged  []PendingWrite
+	DoneBit bool
+}
+
+// Save writes the device's persistent state to w.
+func (d *Device) Save(w io.Writer) error {
+	img := deviceImage{
+		Magic:   imageMagic,
+		Timing:  d.timing,
+		Store:   d.store,
+		Side:    d.side,
+		Regs:    d.regs,
+		Wear:    d.wear,
+		Staged:  d.staged,
+		DoneBit: d.doneBit,
+	}
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("nvm: save image: %w", err)
+	}
+	return nil
+}
+
+// LoadDevice restores a Device from an image produced by Save. The
+// returned device is in post-power-cycle state: bank/WPQ timing is
+// reset, and any committed-but-undrained group is still pending its
+// RedoCommitted.
+func LoadDevice(r io.Reader) (*Device, error) {
+	var img deviceImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("nvm: load image: %w", err)
+	}
+	if img.Magic != imageMagic {
+		return nil, fmt.Errorf("nvm: not an NVM image (magic %q)", img.Magic)
+	}
+	d := NewDevice(img.Timing)
+	d.store = img.Store
+	d.side = img.Side
+	d.regs = img.Regs
+	d.wear = img.Wear
+	d.staged = img.Staged
+	d.doneBit = img.DoneBit
+	for r := range d.store {
+		if d.store[r] == nil {
+			d.store[r] = make(map[uint64][BlockBytes]byte)
+		}
+		if d.wear[r] == nil {
+			d.wear[r] = make(map[uint64]uint64)
+		}
+	}
+	if d.side == nil {
+		d.side = make(map[uint64]Sideband)
+	}
+	if d.regs == nil {
+		d.regs = make(map[string][BlockBytes]byte)
+	}
+	return d, nil
+}

@@ -1,0 +1,171 @@
+// Package recmodel implements the paper's analytic recovery-time
+// models. Figure 5 and Figure 12 are computed, not simulated, in the
+// paper itself (footnote 1: "we calculate recovery time by counting the
+// number of hash values and nodes [that] need to be fetched and updated
+// from memory and assume each would cost 100ns"); this package encodes
+// that accounting. The executed recovery paths in internal/memctrl
+// report the same op categories at test scale, validating the counts.
+package recmodel
+
+import "fmt"
+
+// OpNS is the modeled cost of one recovery operation: fetching a block
+// from memory bundled with its hash calculation and/or decryption.
+const OpNS = 100
+
+// BlockBytes and PageBytes mirror the system geometry.
+const (
+	BlockBytes = 64
+	PageBytes  = 4096
+	Arity      = 8
+)
+
+// treeNodes returns the total node count of an 8-ary tree over `leaves`
+// leaf blocks (matching merkle.Geometry).
+func treeNodes(leaves uint64) uint64 {
+	var total uint64
+	n := (leaves + Arity - 1) / Arity
+	for {
+		total += n
+		if n == 1 {
+			return total
+		}
+		n = (n + Arity - 1) / Arity
+	}
+}
+
+// treeLevels returns the number of levels of that tree.
+func treeLevels(leaves uint64) int {
+	levels := 0
+	n := (leaves + Arity - 1) / Arity
+	for {
+		levels++
+		if n == 1 {
+			return levels
+		}
+		n = (n + Arity - 1) / Arity
+	}
+}
+
+// OsirisFullOps returns the operation count of a whole-memory Osiris
+// recovery (Figure 5): every data block is fetched and its counter
+// verified by decrypt+ECC trials (avgTrials ≈ 1 when most counters are
+// already persisted), then the entire Merkle tree is reconstructed from
+// the counter blocks (one hash per child plus the node update).
+func OsirisFullOps(memBytes uint64, avgTrials float64) uint64 {
+	dataBlocks := memBytes / BlockBytes
+	pages := memBytes / PageBytes
+	counterOps := float64(dataBlocks) * (1 + avgTrials) // fetch + trials
+	// Tree build: each node hashes its children (total children ≈ pages
+	// + internal nodes) and is written once.
+	nodes := treeNodes(pages)
+	buildOps := float64(pages) + 2*float64(nodes)
+	return uint64(counterOps + buildOps)
+}
+
+// OsirisFullNS prices OsirisFullOps in nanoseconds.
+func OsirisFullNS(memBytes uint64, avgTrials float64) uint64 {
+	return OsirisFullOps(memBytes, avgTrials) * OpNS
+}
+
+// AGITOps returns the operation count of an AGIT recovery (Figure 12,
+// §6.3.1): every SCT entry names a counter block whose 64 split
+// counters each require one encrypted data block fetch (bundled with
+// its decrypt+ECC check); every SMT entry names a tree node rebuilt
+// from its 8 children plus the node update.
+func AGITOps(counterCacheBytes, treeCacheBytes uint64) uint64 {
+	sctEntries := counterCacheBytes / BlockBytes
+	smtEntries := treeCacheBytes / BlockBytes
+	counterOps := sctEntries * 64 // one data-block fetch+check per counter
+	nodeOps := smtEntries * (Arity + 1)
+	return counterOps + nodeOps
+}
+
+// AGITNS prices AGITOps in nanoseconds.
+func AGITNS(counterCacheBytes, treeCacheBytes uint64) uint64 {
+	return AGITOps(counterCacheBytes, treeCacheBytes) * OpNS
+}
+
+// ASITOps returns the operation count of an ASIT recovery (§6.3.1):
+// per Shadow Table entry, one ST block read, one stale node read, and
+// one parent fetch for the MAC check; SGX blocks hold only 8 counters
+// and no ECC trials are needed.
+func ASITOps(metaCacheBytes uint64) uint64 {
+	stEntries := metaCacheBytes / BlockBytes
+	return stEntries * 3
+}
+
+// ASITNS prices ASITOps in nanoseconds.
+func ASITNS(metaCacheBytes uint64) uint64 {
+	return ASITOps(metaCacheBytes) * OpNS
+}
+
+// TriadOps returns the operation count of a Triad-NVM-style recovery
+// that persisted counters plus the first `levels` tree levels at run
+// time: reconstruction starts at `levels` and works upward, reading
+// each node's children and writing the node. No data blocks are read
+// and no ECC trials run (counters are strictly persisted), so even
+// levels=0 is far below a full Osiris recovery — but the cost is still
+// O(memory/8^levels), unlike Anubis's cache-bound recovery.
+func TriadOps(memBytes uint64, levels int) uint64 {
+	pages := memBytes / PageBytes
+	var ops uint64
+	n := pages
+	level := 0
+	for {
+		parents := (n + Arity - 1) / Arity
+		if level >= levels {
+			// Read n children + write `parents` nodes.
+			ops += n + parents
+		}
+		if parents == 1 {
+			if level < levels {
+				ops++ // at minimum the root is re-hashed for the register check
+			}
+			return ops
+		}
+		n = parents
+		level++
+	}
+}
+
+// TriadNS prices TriadOps in nanoseconds.
+func TriadNS(memBytes uint64, levels int) uint64 {
+	return TriadOps(memBytes, levels) * OpNS
+}
+
+// StrictOps is zero: strict persistence needs no reconstruction.
+func StrictOps() uint64 { return 0 }
+
+// Seconds renders a nanosecond count in seconds.
+func Seconds(ns uint64) float64 { return float64(ns) / 1e9 }
+
+// Speedup returns how many times faster `fast` is than `slow`.
+func Speedup(slowNS, fastNS uint64) float64 {
+	if fastNS == 0 {
+		return 0
+	}
+	return float64(slowNS) / float64(fastNS)
+}
+
+// FormatDuration renders nanoseconds human-readably (the paper quotes
+// both "0.03s" and "7.8 hours").
+func FormatDuration(ns uint64) string {
+	s := Seconds(ns)
+	switch {
+	case s >= 3600:
+		return fmt.Sprintf("%.1f h", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1f min", s/60)
+	case s >= 1:
+		return fmt.Sprintf("%.2f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0f µs", s*1e6)
+	}
+}
+
+// Levels16GB is a sanity anchor used in docs/tests: the tree depth for
+// the paper's 16 GB configuration.
+func Levels16GB() int { return treeLevels((16 << 30) / PageBytes) }

@@ -1,0 +1,277 @@
+// Package shadow implements the persistent shadow-table formats of
+// Anubis (Figures 6 and 9 of the paper).
+//
+// A shadow table mirrors the data array of an on-chip metadata cache:
+// entry i describes the block currently held in cache slot i. Because a
+// block's slot is fixed for its whole cache residency and slots change
+// only on misses (AGIT) or one entry is rewritten per write (ASIT), the
+// NVM write traffic of keeping the shadow table current is small.
+//
+//   - AGIT (Figure 9a): the Shadow Counter Table (SCT) and Shadow
+//     Merkle-tree Table (SMT) store only *addresses* — eight 8-byte
+//     entries per 64-byte NVM block. After a crash they tell the
+//     recovery code which blocks may have lost updates.
+//   - ASIT (Figure 9b): the combined Shadow Table (ST) stores, per slot,
+//     the tracked block's address, the 56-bit MAC over its updated
+//     counters, and the 49-bit LSBs of its eight counters — enough to
+//     reconstruct the exact pre-crash cache content when spliced onto
+//     the stale in-memory node.
+//
+// The package is a pure codec plus an in-controller mirror; device I/O
+// stays in the memory controller.
+package shadow
+
+import "encoding/binary"
+
+// BlockBytes is the NVM block size shadow tables are written in.
+const BlockBytes = 64
+
+// AddrEntriesPerBlock is the number of AGIT address entries per block.
+const AddrEntriesPerBlock = BlockBytes / 8
+
+// Tracked reports one live shadow entry during recovery.
+type Tracked struct {
+	Slot int
+	Key  uint64
+}
+
+// --- AGIT address tables (SCT / SMT) ----------------------------------------
+
+// AddrTable is the controller-side mirror of an SCT or SMT: one address
+// entry per cache slot. Entries are stored in NVM as key+1 so that zero
+// means "slot never used".
+type AddrTable struct {
+	entries []uint64 // key+1; 0 = empty
+}
+
+// NewAddrTable creates an empty mirror for a cache with numSlots lines.
+func NewAddrTable(numSlots int) *AddrTable {
+	if numSlots <= 0 {
+		panic("shadow: table needs at least one slot")
+	}
+	return &AddrTable{entries: make([]uint64, numSlots)}
+}
+
+// NumSlots returns the number of tracked cache slots.
+func (t *AddrTable) NumSlots() int { return len(t.entries) }
+
+// NumBlocks returns the number of 64-byte NVM blocks backing the table.
+func (t *AddrTable) NumBlocks() uint64 {
+	return uint64(len(t.entries)+AddrEntriesPerBlock-1) / AddrEntriesPerBlock
+}
+
+// Set records that cache slot `slot` now holds block `key` and returns
+// the NVM block (index and refreshed content) that must be persisted.
+func (t *AddrTable) Set(slot int, key uint64) (blockIdx uint64, block [BlockBytes]byte) {
+	t.entries[slot] = key + 1
+	return t.blockOf(slot)
+}
+
+// Clear empties a slot (e.g. after its block is cleanly written back,
+// though AGIT never needs to clear: stale entries only cost recovery
+// work, not correctness). It returns the NVM block to persist.
+func (t *AddrTable) Clear(slot int) (blockIdx uint64, block [BlockBytes]byte) {
+	t.entries[slot] = 0
+	return t.blockOf(slot)
+}
+
+// Get returns the tracked key of a slot.
+func (t *AddrTable) Get(slot int) (key uint64, ok bool) {
+	e := t.entries[slot]
+	if e == 0 {
+		return 0, false
+	}
+	return e - 1, true
+}
+
+func (t *AddrTable) blockOf(slot int) (uint64, [BlockBytes]byte) {
+	blockIdx := uint64(slot / AddrEntriesPerBlock)
+	var b [BlockBytes]byte
+	base := int(blockIdx) * AddrEntriesPerBlock
+	for i := 0; i < AddrEntriesPerBlock; i++ {
+		if base+i < len(t.entries) {
+			binary.LittleEndian.PutUint64(b[i*8:], t.entries[base+i])
+		}
+	}
+	return blockIdx, b
+}
+
+// RestoreAddrTable rebuilds a mirror from NVM after a crash. read must
+// return block i of the table's region.
+func RestoreAddrTable(numSlots int, read func(blockIdx uint64) [BlockBytes]byte) *AddrTable {
+	t := NewAddrTable(numSlots)
+	for bi := uint64(0); bi < t.NumBlocks(); bi++ {
+		b := read(bi)
+		base := int(bi) * AddrEntriesPerBlock
+		for i := 0; i < AddrEntriesPerBlock && base+i < numSlots; i++ {
+			t.entries[base+i] = binary.LittleEndian.Uint64(b[i*8:])
+		}
+	}
+	return t
+}
+
+// Live returns every populated entry in slot order: the set of blocks
+// whose updates may have been lost in the crash.
+func (t *AddrTable) Live() []Tracked {
+	var out []Tracked
+	for slot, e := range t.entries {
+		if e != 0 {
+			out = append(out, Tracked{Slot: slot, Key: e - 1})
+		}
+	}
+	return out
+}
+
+// --- ASIT shadow table (ST) ---------------------------------------------------
+
+// STCounters is the number of counter LSB fields per ST entry, matching
+// the 8 counters of an SGX-style block.
+const STCounters = 8
+
+// STLSBBits is the width of each preserved counter LSB field.
+const STLSBBits = 49
+
+// STLSBMask masks a counter to the shadow-preserved bits.
+const STLSBMask = 1<<STLSBBits - 1
+
+// STMACMask masks the 56-bit MAC field.
+const STMACMask = 1<<56 - 1
+
+// STEntry is one ASIT shadow-table entry: an exact, integrity-relevant
+// snapshot of one modified metadata cache line (Figure 9b). One entry
+// occupies exactly one 64-byte NVM block:
+//
+//	bytes 0..7   tracked block key + 1 (0 = slot empty)
+//	bytes 8..14  56-bit MAC over the updated counters
+//	bits 120..511  eight 49-bit counter LSBs
+type STEntry struct {
+	Valid bool
+	Key   uint64
+	MAC   uint64 // 56-bit
+	LSBs  [STCounters]uint64
+}
+
+// Pack serializes the entry to its NVM block.
+func (e STEntry) Pack() [BlockBytes]byte {
+	var b [BlockBytes]byte
+	if !e.Valid {
+		return b
+	}
+	binary.LittleEndian.PutUint64(b[0:8], e.Key+1)
+	for i := 0; i < 7; i++ {
+		b[8+i] = byte(e.MAC >> uint(8*i))
+	}
+	off := 120
+	for i := 0; i < STCounters; i++ {
+		putBits(b[:], off, STLSBBits, e.LSBs[i]&STLSBMask)
+		off += STLSBBits
+	}
+	return b
+}
+
+// UnpackSTEntry parses an ST block.
+func UnpackSTEntry(b [BlockBytes]byte) STEntry {
+	var e STEntry
+	raw := binary.LittleEndian.Uint64(b[0:8])
+	if raw == 0 {
+		return e
+	}
+	e.Valid = true
+	e.Key = raw - 1
+	for i := 0; i < 7; i++ {
+		e.MAC |= uint64(b[8+i]) << uint(8*i)
+	}
+	off := 120
+	for i := 0; i < STCounters; i++ {
+		e.LSBs[i] = getBits(b[:], off, STLSBBits)
+		off += STLSBBits
+	}
+	return e
+}
+
+// STTable is the controller-side mirror of the ASIT Shadow Table: one
+// STEntry per combined-metadata-cache slot, one NVM block per entry.
+type STTable struct {
+	entries []STEntry
+}
+
+// NewSTTable creates an empty mirror.
+func NewSTTable(numSlots int) *STTable {
+	if numSlots <= 0 {
+		panic("shadow: table needs at least one slot")
+	}
+	return &STTable{entries: make([]STEntry, numSlots)}
+}
+
+// NumSlots returns the number of tracked cache slots (= NVM blocks).
+func (t *STTable) NumSlots() int { return len(t.entries) }
+
+// Set records a snapshot for a slot and returns the NVM block to persist
+// (block index equals the slot).
+func (t *STTable) Set(slot int, e STEntry) (blockIdx uint64, block [BlockBytes]byte) {
+	e.Valid = true
+	t.entries[slot] = e
+	return uint64(slot), e.Pack()
+}
+
+// Clear invalidates a slot (on clean writeback of the tracked block) and
+// returns the NVM block to persist.
+func (t *STTable) Clear(slot int) (blockIdx uint64, block [BlockBytes]byte) {
+	t.entries[slot] = STEntry{}
+	return uint64(slot), [BlockBytes]byte{}
+}
+
+// Get returns the snapshot tracked in a slot.
+func (t *STTable) Get(slot int) (STEntry, bool) {
+	e := t.entries[slot]
+	return e, e.Valid
+}
+
+// Block returns the current NVM image of one table block (= slot).
+func (t *STTable) Block(slot int) [BlockBytes]byte {
+	return t.entries[slot].Pack()
+}
+
+// RestoreSTTable rebuilds the mirror from NVM after a crash.
+func RestoreSTTable(numSlots int, read func(blockIdx uint64) [BlockBytes]byte) *STTable {
+	t := NewSTTable(numSlots)
+	for i := 0; i < numSlots; i++ {
+		t.entries[i] = UnpackSTEntry(read(uint64(i)))
+	}
+	return t
+}
+
+// Live returns every valid entry in slot order.
+func (t *STTable) Live() []Tracked {
+	var out []Tracked
+	for slot, e := range t.entries {
+		if e.Valid {
+			out = append(out, Tracked{Slot: slot, Key: e.Key})
+		}
+	}
+	return out
+}
+
+// --- bit helpers -------------------------------------------------------------
+
+func putBits(buf []byte, off, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		idx := off + i
+		if (v>>uint(i))&1 != 0 {
+			buf[idx/8] |= 1 << uint(idx%8)
+		} else {
+			buf[idx/8] &^= 1 << uint(idx%8)
+		}
+	}
+}
+
+func getBits(buf []byte, off, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		idx := off + i
+		if buf[idx/8]&(1<<uint(idx%8)) != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,233 @@
+package shadow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrTableSetGet(t *testing.T) {
+	tab := NewAddrTable(32)
+	if _, ok := tab.Get(5); ok {
+		t.Fatal("empty slot reported live")
+	}
+	tab.Set(5, 1234)
+	k, ok := tab.Get(5)
+	if !ok || k != 1234 {
+		t.Fatalf("Get = (%d,%v), want (1234,true)", k, ok)
+	}
+	// Key zero must be representable (distinct from empty).
+	tab.Set(6, 0)
+	k, ok = tab.Get(6)
+	if !ok || k != 0 {
+		t.Fatal("key 0 not representable")
+	}
+}
+
+func TestAddrTableBlockMapping(t *testing.T) {
+	tab := NewAddrTable(32)
+	bi, _ := tab.Set(0, 1)
+	if bi != 0 {
+		t.Fatalf("slot 0 -> block %d, want 0", bi)
+	}
+	bi, _ = tab.Set(7, 1)
+	if bi != 0 {
+		t.Fatalf("slot 7 -> block %d, want 0", bi)
+	}
+	bi, _ = tab.Set(8, 1)
+	if bi != 1 {
+		t.Fatalf("slot 8 -> block %d, want 1", bi)
+	}
+	if tab.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d, want 4", tab.NumBlocks())
+	}
+}
+
+func TestAddrTableClear(t *testing.T) {
+	tab := NewAddrTable(8)
+	tab.Set(3, 99)
+	tab.Clear(3)
+	if _, ok := tab.Get(3); ok {
+		t.Fatal("cleared slot still live")
+	}
+}
+
+func TestAddrTableRestore(t *testing.T) {
+	tab := NewAddrTable(20)
+	store := map[uint64][BlockBytes]byte{}
+	for slot, key := range map[int]uint64{0: 7, 9: 0, 19: 1 << 40} {
+		bi, blk := tab.Set(slot, key)
+		store[bi] = blk
+	}
+	got := RestoreAddrTable(20, func(bi uint64) [BlockBytes]byte { return store[bi] })
+	live := got.Live()
+	if len(live) != 3 {
+		t.Fatalf("restored %d entries, want 3", len(live))
+	}
+	want := map[int]uint64{0: 7, 9: 0, 19: 1 << 40}
+	for _, tr := range live {
+		if want[tr.Slot] != tr.Key {
+			t.Fatalf("slot %d restored key %d, want %d", tr.Slot, tr.Key, want[tr.Slot])
+		}
+	}
+}
+
+func TestAddrTableLiveOrdered(t *testing.T) {
+	tab := NewAddrTable(16)
+	for _, s := range []int{9, 2, 14} {
+		tab.Set(s, uint64(s))
+	}
+	live := tab.Live()
+	for i := 1; i < len(live); i++ {
+		if live[i].Slot <= live[i-1].Slot {
+			t.Fatal("Live not in slot order")
+		}
+	}
+}
+
+func TestAddrTablePanicsOnZeroSlots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAddrTable(0)
+}
+
+func TestSTEntryPackUnpackRoundTrip(t *testing.T) {
+	f := func(key, mac uint64, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := STEntry{Valid: true, Key: key &^ (1 << 63), MAC: mac & STMACMask}
+		for i := range e.LSBs {
+			e.LSBs[i] = rng.Uint64() & STLSBMask
+		}
+		return UnpackSTEntry(e.Pack()) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSTEntryInvalidIsZeroBlock(t *testing.T) {
+	var e STEntry
+	if e.Pack() != ([BlockBytes]byte{}) {
+		t.Fatal("invalid entry packs to nonzero block")
+	}
+	if UnpackSTEntry([BlockBytes]byte{}).Valid {
+		t.Fatal("zero block parses as valid")
+	}
+}
+
+func TestSTEntryExactFit(t *testing.T) {
+	// 8 + 7 + 49 = 64 bytes: a saturated entry must fill the block with
+	// no byte left over and no overflow panic.
+	e := STEntry{Valid: true, Key: ^uint64(0) - 1, MAC: STMACMask}
+	for i := range e.LSBs {
+		e.LSBs[i] = STLSBMask
+	}
+	b := e.Pack()
+	// Bits 120..511 all set: bytes 15..63 are 0xff.
+	for i := 15; i < 64; i++ {
+		if b[i] != 0xff {
+			t.Fatalf("byte %d = %#x, want 0xff", i, b[i])
+		}
+	}
+	if UnpackSTEntry(b) != e {
+		t.Fatal("saturated entry does not round trip")
+	}
+}
+
+func TestSTTableSetClearGet(t *testing.T) {
+	tab := NewSTTable(8)
+	e := STEntry{Key: 42, MAC: 0x1234}
+	e.LSBs[3] = 77
+	bi, blk := tab.Set(2, e)
+	if bi != 2 {
+		t.Fatalf("block idx = %d, want slot 2", bi)
+	}
+	got := UnpackSTEntry(blk)
+	if !got.Valid || got.Key != 42 || got.LSBs[3] != 77 {
+		t.Fatalf("packed entry wrong: %+v", got)
+	}
+	stored, ok := tab.Get(2)
+	if !ok || stored.Key != 42 {
+		t.Fatal("Get after Set failed")
+	}
+	_, blk = tab.Clear(2)
+	if blk != ([BlockBytes]byte{}) {
+		t.Fatal("Clear block not zero")
+	}
+	if _, ok := tab.Get(2); ok {
+		t.Fatal("cleared slot still valid")
+	}
+}
+
+func TestSTTableRestore(t *testing.T) {
+	tab := NewSTTable(6)
+	store := map[uint64][BlockBytes]byte{}
+	e1 := STEntry{Key: 5, MAC: 9}
+	e1.LSBs[0] = 1
+	bi, blk := tab.Set(1, e1)
+	store[bi] = blk
+	e2 := STEntry{Key: 0, MAC: STMACMask}
+	bi, blk = tab.Set(4, e2)
+	store[bi] = blk
+
+	got := RestoreSTTable(6, func(bi uint64) [BlockBytes]byte { return store[bi] })
+	live := got.Live()
+	if len(live) != 2 || live[0].Slot != 1 || live[1].Slot != 4 {
+		t.Fatalf("restored live = %+v", live)
+	}
+	r1, _ := got.Get(1)
+	if r1.MAC != 9 || r1.LSBs[0] != 1 {
+		t.Fatalf("entry 1 = %+v", r1)
+	}
+	r2, _ := got.Get(4)
+	if r2.Key != 0 || r2.MAC != STMACMask {
+		t.Fatalf("entry 4 = %+v", r2)
+	}
+}
+
+func TestSTTableBlockReflectsState(t *testing.T) {
+	tab := NewSTTable(4)
+	if tab.Block(0) != ([BlockBytes]byte{}) {
+		t.Fatal("fresh block not zero")
+	}
+	tab.Set(0, STEntry{Key: 3})
+	if UnpackSTEntry(tab.Block(0)).Key != 3 {
+		t.Fatal("Block does not reflect Set")
+	}
+}
+
+func TestSTTablePanicsOnZeroSlots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSTTable(0)
+}
+
+func TestSTMaskWidths(t *testing.T) {
+	// LSB splice compatibility with the counter package: 49-bit fields.
+	if STLSBBits != 49 || STLSBMask != 1<<49-1 {
+		t.Fatal("ST LSB field width diverged from the paper's 49 bits")
+	}
+}
+
+func BenchmarkSTEntryPack(b *testing.B) {
+	e := STEntry{Valid: true, Key: 123, MAC: 456}
+	for i := range e.LSBs {
+		e.LSBs[i] = uint64(i) * 999983
+	}
+	for i := 0; i < b.N; i++ {
+		_ = e.Pack()
+	}
+}
+
+func BenchmarkAddrTableSet(b *testing.B) {
+	tab := NewAddrTable(4096)
+	for i := 0; i < b.N; i++ {
+		tab.Set(i&4095, uint64(i))
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LatencyHist is a power-of-two-bucketed latency histogram: bucket i
+// counts request latencies in [2^i, 2^(i+1)) nanoseconds (bucket 0 also
+// absorbs zero-latency completions). Percentiles are approximated by
+// the geometric midpoint of the containing bucket, which is plenty for
+// comparing schemes.
+type LatencyHist struct {
+	Buckets [40]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// Add records one latency sample.
+func (h *LatencyHist) Add(ns uint64) {
+	i := 0
+	if ns > 0 {
+		i = 64 - leadingZeros(ns)
+		if i >= len(h.Buckets) {
+			i = len(h.Buckets) - 1
+		}
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.Sum += ns
+	if ns > h.Max {
+		h.Max = ns
+	}
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return 64 - n
+}
+
+// Mean returns the average latency.
+func (h *LatencyHist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile approximates the p-th percentile (0 < p <= 100).
+func (h *LatencyHist) Percentile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(float64(h.Count) * p / 100))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := uint64(1) << uint(i-1)
+			return lo + lo/2 // geometric midpoint of [2^(i-1), 2^i)
+		}
+	}
+	return h.Max
+}
+
+// String renders a compact summary.
+func (h *LatencyHist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.0fns p50=%dns p95=%dns p99=%dns max=%dns",
+		h.Count, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max)
+	return b.String()
+}

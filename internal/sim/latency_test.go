@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatencyHistEmpty(t *testing.T) {
+	var h LatencyHist
+	if h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestLatencyHistBasics(t *testing.T) {
+	var h LatencyHist
+	for _, v := range []uint64{0, 10, 100, 100, 100, 1000, 10000} {
+		h.Add(v)
+	}
+	if h.Count != 7 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Max != 10000 {
+		t.Fatalf("max = %d", h.Max)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 64 || p50 > 256 {
+		t.Fatalf("p50 = %d, want in the ~100ns bucket", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 4096 {
+		t.Fatalf("p99 = %d, want in the ~10µs bucket", p99)
+	}
+	if !strings.Contains(h.String(), "p95=") {
+		t.Fatal("String missing percentile fields")
+	}
+}
+
+func TestLatencyHistMonotonePercentiles(t *testing.T) {
+	var h LatencyHist
+	for i := uint64(1); i < 5000; i++ {
+		h.Add(i)
+	}
+	if h.Percentile(50) > h.Percentile(95) || h.Percentile(95) > h.Percentile(99) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestLatencyHistHugeValueClamped(t *testing.T) {
+	var h LatencyHist
+	h.Add(1 << 62) // beyond the last bucket boundary
+	if h.Buckets[len(h.Buckets)-1] != 1 {
+		t.Fatal("huge value not clamped into the last bucket")
+	}
+}
+
+func TestRunPopulatesLatencies(t *testing.T) {
+	prof := profFor(t, "milc")
+	res := runFor(t, FamilyBonsai, prof, 2000)
+	if res.ReadLat.Count == 0 || res.WriteLat.Count == 0 {
+		t.Fatal("latency histograms empty")
+	}
+	if res.ReadLat.Count+res.WriteLat.Count != 2000 {
+		t.Fatalf("latency samples = %d, want 2000", res.ReadLat.Count+res.WriteLat.Count)
+	}
+	// Reads must pay at least the media latency on misses; mean > 0.
+	if res.ReadLat.Mean() <= 0 {
+		t.Fatal("read latency mean is zero")
+	}
+}
+
+func TestStrictInflatesWriteLatency(t *testing.T) {
+	prof := profFor(t, "libquantum")
+	wb := runSchemeFor(t, FamilyBonsai, "writeback", prof, 4000)
+	st := runSchemeFor(t, FamilyBonsai, "strict", prof, 4000)
+	if st.WriteLat.Mean() <= wb.WriteLat.Mean() {
+		t.Fatalf("strict write latency (%.0f) not above write-back (%.0f)",
+			st.WriteLat.Mean(), wb.WriteLat.Mean())
+	}
+}

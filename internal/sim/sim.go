@@ -1,0 +1,138 @@
+// Package sim drives a secure memory controller with a workload trace
+// and reports timing and traffic statistics.
+//
+// The engine is trace-driven and in-order: each request waits out its
+// CPU gap, then occupies the controller until it completes (reads block
+// until data+verification; writes return once the atomic group is in
+// the persistence domain, stalling only on WPQ back-pressure). This is
+// the substitution for the paper's gem5 setup — see DESIGN.md §1. The
+// reported quantity is the same as the paper's figures: execution time
+// normalized to the write-back baseline.
+package sim
+
+import (
+	"fmt"
+
+	"anubis/internal/memctrl"
+	"anubis/internal/trace"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	Workload string
+	Scheme   memctrl.Scheme
+	Requests int
+	ExecNS   uint64
+	Stats    memctrl.RunStats
+
+	// ReadLat and WriteLat are per-request latency histograms: reads
+	// measure issue-to-data-verified, writes issue-to-persist-accepted.
+	ReadLat  LatencyHist
+	WriteLat LatencyHist
+}
+
+// Normalized returns this run's execution time relative to a baseline
+// run of the same trace (1.0 = identical, 1.1 = 10% overhead).
+func (r Result) Normalized(base Result) float64 {
+	if base.ExecNS == 0 {
+		return 0
+	}
+	return float64(r.ExecNS) / float64(base.ExecNS)
+}
+
+// CleanEvictionFrac returns the fraction of counter-cache evictions that
+// were clean (Figure 7). For the SGX family the combined metadata cache
+// is used.
+func (r Result) CleanEvictionFrac() float64 {
+	cs := r.Stats.CounterCache
+	if cs.Evictions == 0 {
+		cs = r.Stats.TreeCache
+	}
+	if cs.Evictions == 0 {
+		return 0
+	}
+	return float64(cs.CleanEvictions) / float64(cs.Evictions)
+}
+
+// WritesPerRequest returns NVM write amplification: media writes per
+// CPU write request.
+func (r Result) WritesPerRequest() float64 {
+	if r.Stats.WriteRequests == 0 {
+		return 0
+	}
+	return float64(r.Stats.NVM.Writes) / float64(r.Stats.WriteRequests)
+}
+
+// Run drives nReq requests from the source through the controller.
+// The source's blocks are taken modulo the controller's capacity, so
+// profiles with larger footprints than the simulated memory still run
+// (with correspondingly reduced locality).
+func Run(ctrl memctrl.Controller, gen trace.Source, nReq int) (Result, error) {
+	res := Result{Workload: gen.Name(), Scheme: ctrl.Scheme(), Requests: nReq}
+	nBlocks := ctrl.NumBlocks()
+	for i := 0; i < nReq; i++ {
+		req := gen.Next()
+		ctrl.AdvanceTo(ctrl.Now() + req.GapNS)
+		addr := req.Block % nBlocks
+		issue := ctrl.Now()
+		if req.Op == trace.OpWrite {
+			var data [memctrl.BlockBytes]byte
+			fill(&data, req.Block, uint64(i))
+			if err := ctrl.WriteBlock(addr, data); err != nil {
+				return res, fmt.Errorf("sim: request %d (write %d): %w", i, addr, err)
+			}
+			res.WriteLat.Add(ctrl.Now() - issue)
+		} else {
+			if _, err := ctrl.ReadBlock(addr); err != nil {
+				return res, fmt.Errorf("sim: request %d (read %d): %w", i, addr, err)
+			}
+			res.ReadLat.Add(ctrl.Now() - issue)
+		}
+	}
+	res.ExecNS = ctrl.Now()
+	res.Stats = ctrl.Stats()
+	return res, nil
+}
+
+// fill writes deterministic content so every write has distinct data.
+func fill(d *[memctrl.BlockBytes]byte, block, n uint64) {
+	x := block*0x9e3779b97f4a7c15 ^ n
+	for i := range d {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		d[i] = byte(x)
+	}
+}
+
+// NewController constructs the right controller family for a scheme:
+// AGIT schemes and the general-tree baselines use Bonsai; ASIT uses the
+// SGX family. For WriteBack/Strict/Osiris the family must be chosen by
+// the caller (both exist in the paper's two evaluations), so this helper
+// takes it explicitly.
+type Family int
+
+const (
+	// FamilyBonsai selects split counters + general Merkle tree (§6.1).
+	FamilyBonsai Family = iota
+	// FamilySGX selects SGX-style counters + parallelizable tree (§6.2).
+	FamilySGX
+)
+
+func (f Family) String() string {
+	if f == FamilySGX {
+		return "sgx"
+	}
+	return "bonsai"
+}
+
+// NewController builds a controller of the given family and config.
+func NewController(f Family, cfg memctrl.Config) (memctrl.Controller, error) {
+	switch f {
+	case FamilyBonsai:
+		return memctrl.NewBonsai(cfg)
+	case FamilySGX:
+		return memctrl.NewSGX(cfg)
+	}
+	return nil, fmt.Errorf("sim: unknown family %d", f)
+}

@@ -1,0 +1,154 @@
+package anubis
+
+// Model-based testing: a System must behave exactly like a plain
+// map[block]data under arbitrary interleavings of reads, writes,
+// flushes, crashes, and recoveries — for every recoverable scheme, with
+// and without the optional features (phase recovery, wear leveling).
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+type modelOp int
+
+const (
+	opWrite modelOp = iota
+	opRead
+	opCrashRecover
+	opFlush
+)
+
+func runModelSequence(t *testing.T, cfg Config, seed int64, steps int) {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	model := map[uint64][]byte{}
+	blocks := sys.NumBlocks()
+
+	for step := 0; step < steps; step++ {
+		var op modelOp
+		switch r := rng.Intn(100); {
+		case r < 55:
+			op = opWrite
+		case r < 90:
+			op = opRead
+		case r < 97:
+			op = opCrashRecover
+		default:
+			op = opFlush
+		}
+		switch op {
+		case opWrite:
+			addr := uint64(rng.Intn(int(blocks)))
+			data := make([]byte, BlockSize)
+			rng.Read(data)
+			if err := sys.WriteBlock(addr, data); err != nil {
+				t.Fatalf("seed %d step %d: write %d: %v", seed, step, addr, err)
+			}
+			model[addr] = data
+		case opRead:
+			addr := uint64(rng.Intn(int(blocks)))
+			got, err := sys.ReadBlock(addr)
+			if err != nil {
+				t.Fatalf("seed %d step %d: read %d: %v", seed, step, addr, err)
+			}
+			want, ok := model[addr]
+			if !ok {
+				want = make([]byte, BlockSize)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d step %d: block %d diverged from model", seed, step, addr)
+			}
+		case opCrashRecover:
+			sys.Crash()
+			if _, err := sys.Recover(); err != nil {
+				t.Fatalf("seed %d step %d: recover: %v", seed, step, err)
+			}
+		case opFlush:
+			sys.Flush()
+		}
+	}
+	// Final full audit.
+	for addr, want := range model {
+		got, err := sys.ReadBlock(addr)
+		if err != nil {
+			t.Fatalf("seed %d audit: block %d: %v", seed, addr, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d audit: block %d diverged", seed, addr)
+		}
+	}
+}
+
+func modelConfig(s Scheme) Config {
+	return Config{
+		Scheme:            s,
+		MemoryBytes:       256 << 10, // small: heavy eviction + recovery pressure
+		CounterCacheBytes: 1 << 11,
+		TreeCacheBytes:    1 << 11,
+		MetaCacheBytes:    1 << 12,
+	}
+}
+
+func TestModelAGITPlus(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		runModelSequence(t, modelConfig(AGITPlus), seed, 400)
+	}
+}
+
+func TestModelAGITRead(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		runModelSequence(t, modelConfig(AGITRead), seed, 400)
+	}
+}
+
+func TestModelASIT(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		runModelSequence(t, modelConfig(ASIT), seed, 400)
+	}
+}
+
+func TestModelStrict(t *testing.T) {
+	for _, tree := range []TreeKind{GeneralTree, SGXTree} {
+		cfg := modelConfig(Strict)
+		cfg.Tree = tree
+		runModelSequence(t, cfg, 42, 400)
+	}
+}
+
+func TestModelOsirisFullRecovery(t *testing.T) {
+	runModelSequence(t, modelConfig(Osiris), 7, 300)
+}
+
+func TestModelPhaseRecovery(t *testing.T) {
+	cfg := modelConfig(AGITPlus)
+	cfg.PhaseRecovery = true
+	for seed := int64(0); seed < 4; seed++ {
+		runModelSequence(t, cfg, seed, 400)
+	}
+}
+
+func TestModelWearLeveling(t *testing.T) {
+	for _, s := range []Scheme{AGITPlus, ASIT} {
+		cfg := modelConfig(s)
+		cfg.WearLevelingPeriod = 3
+		for seed := int64(0); seed < 3; seed++ {
+			runModelSequence(t, cfg, seed, 400)
+		}
+	}
+}
+
+func TestModelEverythingOn(t *testing.T) {
+	cfg := modelConfig(AGITPlus)
+	cfg.PhaseRecovery = true
+	cfg.WearLevelingPeriod = 2
+	cfg.StopLoss = 8
+	for seed := int64(0); seed < 3; seed++ {
+		runModelSequence(t, cfg, seed, 500)
+	}
+}
