@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench bench-smoke fmt clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 gate: everything compiles, vets clean, and the full suite
+# passes under the race detector.
+verify: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Reduced parallel sweep: a quick end-to-end run of the evaluation
+# harness that exercises the worker pool and the JSON reporter.
+bench-smoke:
+	mkdir -p results
+	$(GO) run ./cmd/anubis-bench -fig10 -fig11 -n 2000 \
+		-apps mcf,lbm,libquantum -parallel 4 -json results/
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -rf results

@@ -2,20 +2,31 @@
 // Table 1 and Figures 5, 7, 10, 11, 12 and 13, plus the headline
 // recovery comparison.
 //
+// Simulation cells — each (scheme, app, cache-size) run — fan out on
+// the parallel evaluation engine (internal/parallel); the output is
+// identical for every -parallel value (see DESIGN.md § Parallel
+// evaluation).
+//
 // Usage:
 //
 //	anubis-bench -all                 # everything (minutes)
 //	anubis-bench -fig10 -n 40000      # one figure at a given scale
 //	anubis-bench -fig10 -apps mcf,lbm # restrict the benchmark list
+//	anubis-bench -all -parallel 8     # 8 concurrent simulation cells
+//	anubis-bench -all -json perf/     # write BENCH_<ts>.json report
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"anubis/internal/figures"
+	"anubis/internal/memctrl"
+	"anubis/internal/recmodel"
 )
 
 func main() {
@@ -34,6 +45,10 @@ func main() {
 		mem      = flag.Uint64("mem", 256<<20, "simulated memory bytes for performance runs")
 		apps     = flag.String("apps", "", "comma-separated app subset (default: all 11)")
 		seed     = flag.Int64("seed", 99, "trace generator seed")
+		workers  = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"concurrent simulation cells (1 = sequential legacy path; output is identical for any value)")
+		jsonOut = flag.String("json", "",
+			"write a machine-readable benchmark report; a directory (or trailing slash) gets BENCH_<timestamp>.json")
 	)
 	flag.Parse()
 
@@ -41,6 +56,7 @@ func main() {
 	rc.Requests = *n
 	rc.MemoryBytes = *mem
 	rc.Seed = *seed
+	rc.Parallel = *workers
 	if *apps != "" {
 		rc.Apps = strings.Split(*apps, ",")
 	}
@@ -51,79 +67,122 @@ func main() {
 		fmt.Fprintln(os.Stderr, "anubis-bench:", err)
 		os.Exit(1)
 	}
+	rep := newReport(*workers, *n, *mem, *seed, rc.Apps)
+	section := func(name string, cells int, fn func() (map[string]float64, error)) {
+		any = true
+		if err := rep.record(name, cells, fn); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+	nApps := rc.NumApps()
 
 	if *all || *table1 {
-		any = true
-		figures.Table1(out)
-		fmt.Fprintln(out)
+		section("table1", 0, func() (map[string]float64, error) {
+			figures.Table1(out)
+			return nil, nil
+		})
 	}
 	if *all || *fig5 {
-		any = true
-		figures.PrintFig5(out)
-		fmt.Fprintln(out)
+		section("fig5", 0, func() (map[string]float64, error) {
+			figures.PrintFig5(out)
+			rows := figures.Fig5()
+			return map[string]float64{
+				"osiris_8tb_recovery_s": recmodel.Seconds(rows[len(rows)-1].NS),
+			}, nil
+		})
 	}
 	if *all || *fig7 {
-		any = true
-		if err := figures.PrintFig7(out, rc); err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out)
+		section("fig7", nApps, func() (map[string]float64, error) {
+			rows, err := figures.Fig7(rc)
+			if err != nil {
+				return nil, err
+			}
+			figures.PrintFig7Rows(out, rows)
+			var mean float64
+			for _, r := range rows {
+				mean += r.CleanFrac / float64(len(rows))
+			}
+			return map[string]float64{"mean_clean_frac": mean}, nil
+		})
 	}
 	if *all || *fig10 {
-		any = true
-		rows, avg, err := figures.Fig10(rc)
-		if err != nil {
-			fail(err)
-		}
-		figures.PrintPerf(out, "Figure 10: AGIT Performance (normalized to write-back)", rows, avg, figures.Fig10Schemes)
-		fmt.Fprintln(out)
+		section("fig10", nApps*len(figures.Fig10Schemes), func() (map[string]float64, error) {
+			rows, avg, err := figures.Fig10(rc)
+			if err != nil {
+				return nil, err
+			}
+			figures.PrintPerf(out, "Figure 10: AGIT Performance (normalized to write-back)", rows, avg, figures.Fig10Schemes)
+			return avgMetrics(avg), nil
+		})
 	}
 	if *all || *fig11 {
-		any = true
-		rows, avg, err := figures.Fig11(rc)
-		if err != nil {
-			fail(err)
-		}
-		figures.PrintPerf(out, "Figure 11: ASIT Performance (normalized to write-back)", rows, avg, figures.Fig11Schemes)
-		fmt.Fprintln(out)
+		section("fig11", nApps*len(figures.Fig11Schemes), func() (map[string]float64, error) {
+			rows, avg, err := figures.Fig11(rc)
+			if err != nil {
+				return nil, err
+			}
+			figures.PrintPerf(out, "Figure 11: ASIT Performance (normalized to write-back)", rows, avg, figures.Fig11Schemes)
+			return avgMetrics(avg), nil
+		})
 	}
 	if *all || *fig12 {
-		any = true
-		figures.PrintFig12(out)
-		fmt.Fprintln(out)
+		section("fig12", 0, func() (map[string]float64, error) {
+			figures.PrintFig12(out)
+			return nil, nil
+		})
 	}
 	if *all || *fig13 {
-		any = true
-		if err := figures.PrintFig13(out, rc); err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out)
+		// 5 sizes × apps × (2 write-back baselines + 3 schemes).
+		section("fig13", 5*nApps*(2+len(figures.Fig13Schemes)), func() (map[string]float64, error) {
+			return nil, figures.PrintFig13(out, rc)
+		})
 	}
 	if *all || *ablation {
-		any = true
-		if err := figures.PrintAblationStopLoss(out, rc); err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out)
-		if err := figures.PrintAblationRecoveryBackend(out, rc); err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out)
-		if err := figures.PrintAblationEndurance(out, rc); err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out)
-		if err := figures.PrintAblationTriad(out, rc); err != nil {
-			fail(err)
-		}
-		fmt.Fprintln(out)
+		section("ablation_stoploss", 5, func() (map[string]float64, error) {
+			return nil, figures.PrintAblationStopLoss(out, rc)
+		})
+		section("ablation_backend", 2, func() (map[string]float64, error) {
+			return nil, figures.PrintAblationRecoveryBackend(out, rc)
+		})
+		section("ablation_endurance", 7, func() (map[string]float64, error) {
+			return nil, figures.PrintAblationEndurance(out, rc)
+		})
+		section("ablation_triad", 4, func() (map[string]float64, error) {
+			return nil, figures.PrintAblationTriad(out, rc)
+		})
 	}
 	if *all || *headline {
-		any = true
-		figures.PrintHeadline(out)
+		section("headline", 0, func() (map[string]float64, error) {
+			figures.PrintHeadline(out)
+			osiris := recmodel.OsirisFullNS(8<<40, 1.05)
+			agit := recmodel.AGITNS(256<<10, 256<<10)
+			return map[string]float64{
+				"agit_speedup": recmodel.Speedup(osiris, agit),
+			}, nil
+		})
 	}
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	fmt.Fprintf(out, "total: %.0f ms wall, %d simulation cells, parallel=%d\n",
+		rep.TotalWallMS, rep.TotalCells, *workers)
+	if *jsonOut != "" {
+		path := resolvePath(*jsonOut, time.Now())
+		if err := rep.write(path); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+	}
+}
+
+// avgMetrics flattens a per-scheme average map into JSON metric keys.
+func avgMetrics(avg map[memctrl.Scheme]float64) map[string]float64 {
+	m := make(map[string]float64, len(avg))
+	for _, s := range figures.SortSchemes(avg) {
+		m["avg_"+s.String()] = avg[s]
+	}
+	return m
 }

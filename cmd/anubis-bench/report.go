@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// FigureTiming is one evaluated artifact's entry in the JSON benchmark
+// report: wall time, how many simulation cells it fanned out, and its
+// headline metrics (e.g. per-scheme average normalized execution time).
+type FigureTiming struct {
+	Name        string             `json:"name"`
+	WallMS      float64            `json:"wall_ms"`
+	Cells       int                `json:"cells"`
+	CellsPerSec float64            `json:"cells_per_sec,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the machine-readable output of one anubis-bench run. Every
+// PR records a before/after pair of these to track the evaluation
+// engine's performance trajectory (see README § Benchmarks).
+type Report struct {
+	Timestamp   string         `json:"timestamp"`
+	GoVersion   string         `json:"go_version"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Parallel    int            `json:"parallel"`
+	Requests    int            `json:"requests"`
+	MemoryBytes uint64         `json:"memory_bytes"`
+	Seed        int64          `json:"seed"`
+	Apps        []string       `json:"apps,omitempty"`
+	TotalWallMS float64        `json:"total_wall_ms"`
+	TotalCells  int            `json:"total_cells"`
+	Figures     []FigureTiming `json:"figures"`
+}
+
+// newReport seeds a report with the run's environment.
+func newReport(parallel, requests int, mem uint64, seed int64, apps []string) *Report {
+	return &Report{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallel:    parallel,
+		Requests:    requests,
+		MemoryBytes: mem,
+		Seed:        seed,
+		Apps:        apps,
+	}
+}
+
+// record times fn, appends its figure entry, and accumulates totals.
+// Metrics returned by fn land in the entry verbatim.
+func (r *Report) record(name string, cells int, fn func() (map[string]float64, error)) error {
+	start := time.Now()
+	metrics, err := fn()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	ft := FigureTiming{
+		Name:    name,
+		WallMS:  float64(wall.Microseconds()) / 1000,
+		Cells:   cells,
+		Metrics: metrics,
+	}
+	if cells > 0 && wall > 0 {
+		ft.CellsPerSec = float64(cells) / wall.Seconds()
+	}
+	r.Figures = append(r.Figures, ft)
+	r.TotalWallMS += ft.WallMS
+	r.TotalCells += cells
+	return nil
+}
+
+// resolvePath turns the -json flag value into a concrete file path:
+// an existing directory (or a path ending in a separator) receives a
+// BENCH_<timestamp>.json file; anything else is used verbatim.
+func resolvePath(arg string, now time.Time) string {
+	stamp := fmt.Sprintf("BENCH_%s.json", now.UTC().Format("20060102T150405Z"))
+	if arg == "" {
+		return stamp
+	}
+	if st, err := os.Stat(arg); (err == nil && st.IsDir()) || os.IsPathSeparator(arg[len(arg)-1]) {
+		return filepath.Join(arg, stamp)
+	}
+	return arg
+}
+
+// write marshals the report to path (creating parent directories).
+func (r *Report) write(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportRecordAndWrite(t *testing.T) {
+	rep := newReport(4, 1000, 1<<20, 99, []string{"mcf"})
+	err := rep.record("fig10", 15, func() (map[string]float64, error) {
+		return map[string]float64{"avg_osiris": 1.01}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 1 || rep.TotalCells != 15 {
+		t.Fatalf("report totals wrong: %+v", rep)
+	}
+	ft := rep.Figures[0]
+	if ft.Name != "fig10" || ft.Metrics["avg_osiris"] != 1.01 {
+		t.Fatalf("figure entry wrong: %+v", ft)
+	}
+	if ft.Cells > 0 && ft.CellsPerSec <= 0 {
+		t.Fatalf("cells/sec not derived: %+v", ft)
+	}
+
+	path := filepath.Join(t.TempDir(), "out", "bench.json")
+	if err := rep.write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Parallel != 4 || back.Seed != 99 || len(back.Figures) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestReportRecordPropagatesError(t *testing.T) {
+	rep := newReport(1, 1, 1, 1, nil)
+	boom := errors.New("boom")
+	if err := rep.record("x", 1, func() (map[string]float64, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(rep.Figures) != 0 {
+		t.Fatal("failed section recorded")
+	}
+}
+
+func TestResolvePath(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+	if got := resolvePath(dir, now); filepath.Dir(got) != dir || !strings.HasPrefix(filepath.Base(got), "BENCH_") {
+		t.Fatalf("directory arg: %q", got)
+	}
+	if got := resolvePath(dir+string(os.PathSeparator), now); filepath.Dir(got) != dir {
+		t.Fatalf("trailing-separator arg: %q", got)
+	}
+	if got := resolvePath("explicit.json", now); got != "explicit.json" {
+		t.Fatalf("file arg: %q", got)
+	}
+	if got := resolvePath("", now); got != "BENCH_20260806T120000Z.json" {
+		t.Fatalf("empty arg: %q", got)
+	}
+}

@@ -19,6 +19,25 @@
 //     64-byte node (8-ary trees), exactly as in the paper's Figure 2.
 //
 // All primitives come from the Go standard library (AES, SHA-256, HMAC).
+//
+// # Allocation-free hot path
+//
+// Every simulated memory request calls into this package several times
+// (pad + MAC on the data, one tree hash per Merkle level), so the block
+// path must not allocate. Two things used to allocate:
+//
+//   - hmac.New per MAC re-folds the key into fresh inner/outer SHA-256
+//     states (7 allocs/op). The engine now folds the key once and keeps
+//     reusable keyed HMAC states in a sync.Pool; Reset restores the
+//     pre-folded inner state without touching the key again.
+//   - Stack scratch (pad, IV, Sum destination) escaped to the heap
+//     because it is sliced into interface method calls. The scratch now
+//     lives in the same pooled object.
+//
+// The pool also keeps the Engine safe for concurrent use: parallel
+// evaluation cells (internal/parallel) may share one Engine, and each
+// in-flight operation checks out its own scratch state.
+// BenchmarkPad/BenchmarkDataMAC/BenchmarkTreeHash prove 0 allocs/op.
 package cryptoeng
 
 import (
@@ -27,6 +46,8 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
+	"sync"
 )
 
 // BlockBytes is the memory block (cache line) size.
@@ -40,12 +61,32 @@ const TreeHashBytes = 8
 // tree blocks (Figure 3 of the paper; 56-bit as in Intel's MEE).
 const SGXMACBits = 56
 
+// scratch is the per-operation working state. One scratch is checked
+// out of the Engine's pool for the duration of a primitive call, so the
+// hot path performs no heap allocation and concurrent callers never
+// share buffers.
+type scratch struct {
+	mac hash.Hash           // HMAC-SHA256 with the MAC key pre-folded
+	h   hash.Hash           // plain SHA-256 for tree hashes
+	sum [sha256.Size]byte   // Sum destination (appended into, never grows)
+	pad [BlockBytes]byte    // OTP scratch
+	iv  [aes.BlockSize]byte // counter-mode IV scratch
+
+	// msg assembles each MAC/hash input (header ‖ block) so exactly one
+	// Write crosses the hash.Hash interface per operation. Caller
+	// buffers handed to an interface method would escape to the heap;
+	// staging them here keeps callers allocation-free (stack arrays
+	// stay on the stack) and halves the interface-call overhead.
+	msg [96]byte
+}
+
 // Engine holds the processor-resident secrets and implements every
 // cryptographic operation the memory controller needs. An Engine is
 // safe for concurrent use after construction.
 type Engine struct {
 	aead   cipher.Block // AES-128 block cipher for OTP generation
 	macKey [32]byte     // HMAC key for data MACs and SGX MACs
+	pool   sync.Pool    // *scratch
 }
 
 // NewEngine derives an engine from a 16-byte processor key and a 32-byte
@@ -58,8 +99,26 @@ func NewEngine(aesKey [16]byte, macKey [32]byte) *Engine {
 		// fixed-size parameter rules out.
 		panic("cryptoeng: " + err.Error())
 	}
-	return &Engine{aead: blk, macKey: macKey}
+	e := &Engine{aead: blk, macKey: macKey}
+	e.pool.New = func() any { return e.newScratch() }
+	// Pre-warm one scratch so even the first operation after boot runs
+	// allocation-free.
+	e.pool.Put(e.newScratch())
+	return e
 }
+
+// newScratch folds the MAC key into a fresh HMAC state and primes its
+// internal marshaled ipad/opad cache (one Sum+Reset cycle) so that
+// subsequent Reset/Sum calls on the pooled object never allocate.
+func (e *Engine) newScratch() *scratch {
+	s := &scratch{mac: hmac.New(sha256.New, e.macKey[:]), h: sha256.New()}
+	s.mac.Sum(s.sum[:0])
+	s.mac.Reset()
+	return s
+}
+
+func (e *Engine) get() *scratch  { return e.pool.Get().(*scratch) }
+func (e *Engine) put(s *scratch) { e.pool.Put(s) }
 
 // NewTestEngine returns an engine with fixed keys, for tests and
 // examples where key management is irrelevant.
@@ -75,30 +134,49 @@ func NewTestEngine() *Engine {
 	return NewEngine(aesKey, macKey)
 }
 
-// pad computes the 64-byte one-time pad for (address, counter).
-// The IV of AES block i is (address, counter, i): spatial uniqueness via
-// the address, temporal uniqueness via the counter.
-func (e *Engine) pad(addr, counter uint64, out *[BlockBytes]byte) {
-	var iv [aes.BlockSize]byte
-	binary.LittleEndian.PutUint64(iv[0:8], addr)
+// padInto computes the 64-byte one-time pad for (address, counter) into
+// the scratch pad buffer. The IV of AES block i is (address, counter,
+// i): spatial uniqueness via the address, temporal uniqueness via the
+// counter.
+func (e *Engine) padInto(s *scratch, addr, counter uint64) {
+	binary.LittleEndian.PutUint64(s.iv[0:8], addr)
 	for i := 0; i < BlockBytes/aes.BlockSize; i++ {
-		binary.LittleEndian.PutUint64(iv[8:16], counter<<2|uint64(i))
-		e.aead.Encrypt(out[i*aes.BlockSize:(i+1)*aes.BlockSize], iv[:])
+		binary.LittleEndian.PutUint64(s.iv[8:16], counter<<2|uint64(i))
+		e.aead.Encrypt(s.pad[i*aes.BlockSize:(i+1)*aes.BlockSize], s.iv[:])
 	}
 }
 
+// EncryptTo XORs the 64-byte src with the OTP for (addr, counter),
+// writing the result into the caller-provided dst. dst and src may
+// alias (in-place operation) and must both be 64 bytes. Counter-mode
+// decryption is the same operation, so DecryptTo is an alias.
+func (e *Engine) EncryptTo(dst, src []byte, addr, counter uint64) {
+	if len(dst) != BlockBytes || len(src) != BlockBytes {
+		panic("cryptoeng: EncryptTo needs 64-byte blocks")
+	}
+	s := e.get()
+	e.padInto(s, addr, counter)
+	for i := 0; i < BlockBytes; i++ {
+		dst[i] = src[i] ^ s.pad[i]
+	}
+	e.put(s)
+}
+
+// DecryptTo is counter-mode decryption into a caller-provided buffer:
+// identical to EncryptTo.
+func (e *Engine) DecryptTo(dst, src []byte, addr, counter uint64) {
+	e.EncryptTo(dst, src, addr, counter)
+}
+
 // Encrypt XORs a 64-byte plaintext with the OTP for (addr, counter),
-// returning the ciphertext. Decryption is the same operation.
+// returning the ciphertext in a freshly allocated slice. Hot paths
+// should prefer EncryptTo / XorInPlace, which do not allocate.
 func (e *Engine) Encrypt(addr, counter uint64, plaintext []byte) []byte {
 	if len(plaintext) != BlockBytes {
 		panic("cryptoeng: Encrypt needs a 64-byte block")
 	}
-	var p [BlockBytes]byte
-	e.pad(addr, counter, &p)
 	out := make([]byte, BlockBytes)
-	for i := range out {
-		out[i] = plaintext[i] ^ p[i]
-	}
+	e.EncryptTo(out, plaintext, addr, counter)
 	return out
 }
 
@@ -110,14 +188,7 @@ func (e *Engine) Decrypt(addr, counter uint64, ciphertext []byte) []byte {
 // XorInPlace applies the OTP for (addr, counter) to buf in place,
 // avoiding the allocation of Encrypt. buf must be 64 bytes.
 func (e *Engine) XorInPlace(addr, counter uint64, buf []byte) {
-	if len(buf) != BlockBytes {
-		panic("cryptoeng: XorInPlace needs a 64-byte block")
-	}
-	var p [BlockBytes]byte
-	e.pad(addr, counter, &p)
-	for i := range buf {
-		buf[i] ^= p[i]
-	}
+	e.EncryptTo(buf, buf, addr, counter)
 }
 
 // DataMAC computes the 64-bit Bonsai data MAC over (addr, counter, data).
@@ -127,13 +198,15 @@ func (e *Engine) DataMAC(addr, counter uint64, data []byte) uint64 {
 	if len(data) != BlockBytes {
 		panic("cryptoeng: DataMAC needs a 64-byte block")
 	}
-	mac := hmac.New(sha256.New, e.macKey[:])
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], addr)
-	binary.LittleEndian.PutUint64(hdr[8:16], counter)
-	mac.Write(hdr[:])
-	mac.Write(data)
-	return binary.LittleEndian.Uint64(mac.Sum(nil)[:8])
+	s := e.get()
+	s.mac.Reset()
+	binary.LittleEndian.PutUint64(s.msg[0:8], addr)
+	binary.LittleEndian.PutUint64(s.msg[8:16], counter)
+	copy(s.msg[16:16+BlockBytes], data)
+	s.mac.Write(s.msg[:16+BlockBytes])
+	v := binary.LittleEndian.Uint64(s.mac.Sum(s.sum[:0])[:8])
+	e.put(s)
+	return v
 }
 
 // TreeHash computes the 64-bit hash of a child node stored in its parent
@@ -143,12 +216,14 @@ func (e *Engine) TreeHash(nodeAddr uint64, node []byte) uint64 {
 	if len(node) != BlockBytes {
 		panic("cryptoeng: TreeHash needs a 64-byte node")
 	}
-	h := sha256.New()
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], nodeAddr)
-	h.Write(hdr[:])
-	h.Write(node)
-	return binary.LittleEndian.Uint64(h.Sum(nil)[:8])
+	s := e.get()
+	s.h.Reset()
+	binary.LittleEndian.PutUint64(s.msg[0:8], nodeAddr)
+	copy(s.msg[8:8+BlockBytes], node)
+	s.h.Write(s.msg[:8+BlockBytes])
+	v := binary.LittleEndian.Uint64(s.h.Sum(s.sum[:0])[:8])
+	e.put(s)
+	return v
 }
 
 // STMAC computes the 56-bit MAC stored in an ASIT shadow-table entry
@@ -159,17 +234,38 @@ func (e *Engine) TreeHash(nodeAddr uint64, node []byte) uint64 {
 // counters (MSBs included) is what lets recovery detect tampering with
 // the stale in-memory copy the LSBs are spliced onto.
 func (e *Engine) STMAC(nodeAddr uint64, counters []uint64) uint64 {
-	mac := hmac.New(sha256.New, e.macKey[:])
-	var buf [8]byte
-	mac.Write([]byte("anubis-st-entry"))
-	binary.LittleEndian.PutUint64(buf[:], nodeAddr)
-	mac.Write(buf[:])
-	for _, c := range counters {
-		binary.LittleEndian.PutUint64(buf[:], c)
-		mac.Write(buf[:])
-	}
-	return binary.LittleEndian.Uint64(mac.Sum(nil)[:8]) & (1<<SGXMACBits - 1)
+	s := e.get()
+	s.mac.Reset()
+	off := copy(s.msg[:], stDomain)
+	binary.LittleEndian.PutUint64(s.msg[off:off+8], nodeAddr)
+	off += 8
+	off = s.appendCounters(off, counters)
+	s.mac.Write(s.msg[:off])
+	v := binary.LittleEndian.Uint64(s.mac.Sum(s.sum[:0])[:8]) & (1<<SGXMACBits - 1)
+	e.put(s)
+	return v
 }
+
+// appendCounters stages counter values into the message buffer starting
+// at off, flushing to the HMAC state whenever the buffer fills (the
+// common 8-counter case fits in a single Write). Returns the unflushed
+// length.
+func (s *scratch) appendCounters(off int, counters []uint64) int {
+	for _, c := range counters {
+		if off+8 > len(s.msg) {
+			s.mac.Write(s.msg[:off])
+			off = 0
+		}
+		binary.LittleEndian.PutUint64(s.msg[off:off+8], c)
+		off += 8
+	}
+	return off
+}
+
+// stDomain is the STMAC domain-separation prefix, hoisted to a package
+// variable so the hot path does not rebuild (and re-allocate) the
+// string-to-byte conversion per call.
+var stDomain = []byte("anubis-st-entry")
 
 // ContentHash computes the 64-bit hash of a 64-byte node used by
 // general (non-parallelizable) Merkle trees. It is content-only —
@@ -190,15 +286,17 @@ func (e *Engine) ContentHash(node []byte) uint64 {
 // block that versions this node, and the node address. The result fits
 // in the low 56 bits of the returned value.
 func (e *Engine) SGXMAC(nodeAddr uint64, counters []uint64, parentCounter uint64) uint64 {
-	mac := hmac.New(sha256.New, e.macKey[:])
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], nodeAddr)
-	mac.Write(buf[:])
-	for _, c := range counters {
-		binary.LittleEndian.PutUint64(buf[:], c)
-		mac.Write(buf[:])
+	s := e.get()
+	s.mac.Reset()
+	binary.LittleEndian.PutUint64(s.msg[0:8], nodeAddr)
+	off := s.appendCounters(8, counters)
+	if off+8 > len(s.msg) {
+		s.mac.Write(s.msg[:off])
+		off = 0
 	}
-	binary.LittleEndian.PutUint64(buf[:], parentCounter)
-	mac.Write(buf[:])
-	return binary.LittleEndian.Uint64(mac.Sum(nil)[:8]) & (1<<SGXMACBits - 1)
+	binary.LittleEndian.PutUint64(s.msg[off:off+8], parentCounter)
+	s.mac.Write(s.msg[:off+8])
+	v := binary.LittleEndian.Uint64(s.mac.Sum(s.sum[:0])[:8]) & (1<<SGXMACBits - 1)
+	e.put(s)
+	return v
 }

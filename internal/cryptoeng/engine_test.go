@@ -2,6 +2,7 @@ package cryptoeng
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -178,12 +179,134 @@ func TestPanicsOnWrongSizes(t *testing.T) {
 	}
 }
 
+func TestEncryptToMatchesEncrypt(t *testing.T) {
+	e := NewTestEngine()
+	pt := testBlock(13)
+	want := e.Encrypt(31, 12, pt)
+	dst := make([]byte, BlockBytes)
+	e.EncryptTo(dst, pt, 31, 12)
+	if !bytes.Equal(dst, want) {
+		t.Fatal("EncryptTo disagrees with Encrypt")
+	}
+	// In-place (aliased dst/src) must give the same result.
+	buf := make([]byte, BlockBytes)
+	copy(buf, pt)
+	e.EncryptTo(buf, buf, 31, 12)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("aliased EncryptTo disagrees with Encrypt")
+	}
+	e.DecryptTo(buf, buf, 31, 12)
+	if !bytes.Equal(buf, pt) {
+		t.Fatal("DecryptTo did not round-trip")
+	}
+}
+
+func TestEncryptToPanicsOnWrongSizes(t *testing.T) {
+	e := NewTestEngine()
+	short := make([]byte, 10)
+	full := make([]byte, BlockBytes)
+	for name, fn := range map[string]func(){
+		"short dst": func() { e.EncryptTo(short, full, 0, 0) },
+		"short src": func() { e.EncryptTo(full, short, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHotPathZeroAllocs asserts the per-block primitives are
+// allocation-free: this is what keeps the parallel evaluation engine's
+// cells from hammering the garbage collector. (A tiny tolerance absorbs
+// the rare case of the GC clearing the scratch pool mid-measurement.)
+func TestHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool; allocation counts are not meaningful")
+	}
+	e := NewTestEngine()
+	buf := testBlock(14)
+	dst := make([]byte, BlockBytes)
+	ctrs := make([]uint64, 8)
+	cases := map[string]func(){
+		"pad/XorInPlace": func() { e.XorInPlace(3, 9, buf) },
+		"EncryptTo":      func() { e.EncryptTo(dst, buf, 3, 9) },
+		"DataMAC":        func() { e.DataMAC(3, 9, buf) },
+		"TreeHash":       func() { e.TreeHash(3, buf) },
+		"ContentHash":    func() { e.ContentHash(buf) },
+		"SGXMAC":         func() { e.SGXMAC(3, ctrs, 1) },
+		"STMAC":          func() { e.STMAC(3, ctrs) },
+	}
+	for name, fn := range cases {
+		fn() // warm the scratch pool outside the measurement
+		if avg := testing.AllocsPerRun(500, fn); avg > 0.02 {
+			t.Errorf("%s: %.3f allocs/op, want 0", name, avg)
+		}
+	}
+}
+
+// TestConcurrentEngineSharing exercises one Engine from many goroutines
+// (the parallel evaluation pattern) and checks the pooled scratch never
+// crosses wires: every goroutine must see self-consistent results.
+func TestConcurrentEngineSharing(t *testing.T) {
+	e := NewTestEngine()
+	pt := testBlock(15)
+	wantCT := e.Encrypt(77, 13, pt)
+	wantMAC := e.DataMAC(77, 13, pt)
+	wantTH := e.TreeHash(42, pt)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			buf := make([]byte, BlockBytes)
+			for i := 0; i < 2000; i++ {
+				e.EncryptTo(buf, pt, 77, 13)
+				if !bytes.Equal(buf, wantCT) {
+					done <- fmt.Errorf("iter %d: ciphertext mismatch", i)
+					return
+				}
+				if e.DataMAC(77, 13, pt) != wantMAC {
+					done <- fmt.Errorf("iter %d: MAC mismatch", i)
+					return
+				}
+				if e.TreeHash(42, pt) != wantTH {
+					done <- fmt.Errorf("iter %d: tree hash mismatch", i)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEncryptBlock(b *testing.B) {
 	e := NewTestEngine()
 	pt := testBlock(10)
 	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.XorInPlace(uint64(i), uint64(i), pt)
+	}
+}
+
+// BenchmarkPad isolates OTP generation into a caller-provided buffer —
+// the pure pad path (what overlaps the data fetch in hardware).
+func BenchmarkPad(b *testing.B) {
+	e := NewTestEngine()
+	src := testBlock(10)
+	dst := make([]byte, BlockBytes)
+	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.EncryptTo(dst, src, uint64(i), uint64(i))
 	}
 }
 
@@ -191,6 +314,7 @@ func BenchmarkDataMAC(b *testing.B) {
 	e := NewTestEngine()
 	data := testBlock(11)
 	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.DataMAC(uint64(i), 1, data)
 	}
@@ -200,7 +324,52 @@ func BenchmarkTreeHash(b *testing.B) {
 	e := NewTestEngine()
 	node := testBlock(12)
 	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.TreeHash(uint64(i), node)
 	}
+}
+
+func BenchmarkContentHash(b *testing.B) {
+	e := NewTestEngine()
+	node := testBlock(13)
+	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ContentHash(node)
+	}
+}
+
+func BenchmarkSGXMAC(b *testing.B) {
+	e := NewTestEngine()
+	ctrs := make([]uint64, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.SGXMAC(uint64(i), ctrs, 7)
+	}
+}
+
+func BenchmarkSTMAC(b *testing.B) {
+	e := NewTestEngine()
+	ctrs := make([]uint64, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.STMAC(uint64(i), ctrs)
+	}
+}
+
+// BenchmarkDataMACParallel measures MAC throughput under the parallel
+// evaluation pattern: many goroutines sharing one Engine's scratch pool.
+func BenchmarkDataMACParallel(b *testing.B) {
+	e := NewTestEngine()
+	data := testBlock(14)
+	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			e.DataMAC(i, 1, data)
+		}
+	})
 }

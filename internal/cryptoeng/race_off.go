@@ -1,0 +1,8 @@
+//go:build !race
+
+package cryptoeng
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// -race, sync.Pool deliberately drops items to expose races, so the
+// zero-allocation guarantees cannot be asserted there.
+const raceEnabled = false

@@ -1,11 +1,13 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"anubis/internal/memctrl"
 	"anubis/internal/nvm"
+	"anubis/internal/parallel"
 	"anubis/internal/recmodel"
 	"anubis/internal/sim"
 	"anubis/internal/trace"
@@ -31,44 +33,53 @@ type StopLossRow struct {
 
 // AblationStopLoss sweeps the Osiris stop-loss limit on a write-heavy
 // workload, exposing the run-time-cost vs recovery-trials trade-off.
+// Each stop-loss point is one independent cell (baseline + Osiris run +
+// reduced-scale crash/recovery) and the points run concurrently.
 func AblationStopLoss(rc RunConfig) ([]StopLossRow, error) {
 	prof, _ := trace.ByName("libquantum")
-	var rows []StopLossRow
-	for _, sl := range []int{1, 2, 4, 8, 16} {
+	limits := []int{1, 2, 4, 8, 16}
+	return parallel.Map(rc.pool(), len(limits), func(_ context.Context, i int) (StopLossRow, error) {
+		sl := limits[i]
 		cfg := rc.config(memctrl.SchemeWriteBack)
 		base, err := runWith(cfg, prof, rc)
 		if err != nil {
-			return nil, err
+			return StopLossRow{}, err
 		}
 		cfg = rc.config(memctrl.SchemeOsiris)
 		cfg.StopLoss = sl
 		res, err := runWith(cfg, prof, rc)
 		if err != nil {
-			return nil, err
+			return StopLossRow{}, err
 		}
 		// Measure recovery trials at a reduced scale.
-		mcfg := cfg
-		mcfg.MemoryBytes = 16 << 20
-		ctrl, err := memctrl.NewBonsai(mcfg)
+		rep, err := miniRecovery(cfg, prof, rc.Seed)
 		if err != nil {
-			return nil, err
+			return StopLossRow{}, err
 		}
-		if _, err := sim.Run(ctrl, trace.NewGenerator(prof.Scaled(mcfg.MemoryBytes/64), rc.Seed), 3000); err != nil {
-			return nil, err
-		}
-		ctrl.Crash()
-		rep, err := ctrl.Recover()
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, StopLossRow{
+		return StopLossRow{
 			StopLoss:       sl,
 			Normalized:     res.Normalized(base),
 			StopLossWrites: res.Stats.StopLossWrites,
 			RecoveryCrypto: rep.CryptoOps,
-		})
+		}, nil
+	})
+}
+
+// miniRecovery runs a reduced-scale workload on a fresh Bonsai
+// controller, crashes it, and returns the recovery report. The warm-up,
+// crash, and recovery are inherently sequential within one cell.
+func miniRecovery(cfg memctrl.Config, prof trace.Profile, seed int64) (*memctrl.RecoveryReport, error) {
+	mcfg := cfg
+	mcfg.MemoryBytes = 16 << 20
+	ctrl, err := memctrl.NewBonsai(mcfg)
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	if _, err := sim.Run(ctrl, trace.NewGenerator(prof.Scaled(mcfg.MemoryBytes/64), seed), 3000); err != nil {
+		return nil, err
+	}
+	ctrl.Crash()
+	return ctrl.Recover()
 }
 
 func runWith(cfg memctrl.Config, prof trace.Profile, rc RunConfig) (sim.Result, error) {
@@ -110,36 +121,26 @@ func AblationRecoveryBackend(rc RunConfig) ([]BackendRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []BackendRow
-	for _, backend := range []memctrl.CounterRecovery{memctrl.RecoveryECC, memctrl.RecoveryPhase} {
+	backends := []memctrl.CounterRecovery{memctrl.RecoveryECC, memctrl.RecoveryPhase}
+	return parallel.Map(rc.pool(), len(backends), func(_ context.Context, i int) (BackendRow, error) {
+		backend := backends[i]
 		cfg := rc.config(memctrl.SchemeAGITPlus)
 		cfg.Recovery = backend
 		res, err := runWith(cfg, prof, rc)
 		if err != nil {
-			return nil, err
+			return BackendRow{}, err
 		}
-		mcfg := cfg
-		mcfg.MemoryBytes = 16 << 20
-		ctrl, err := memctrl.NewBonsai(mcfg)
+		rep, err := miniRecovery(cfg, prof, rc.Seed)
 		if err != nil {
-			return nil, err
+			return BackendRow{}, err
 		}
-		if _, err := sim.Run(ctrl, trace.NewGenerator(prof.Scaled(mcfg.MemoryBytes/64), rc.Seed), 3000); err != nil {
-			return nil, err
-		}
-		ctrl.Crash()
-		rep, err := ctrl.Recover()
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, BackendRow{
+		return BackendRow{
 			Backend:        backend,
 			Normalized:     res.Normalized(base),
 			StopLossWrites: res.Stats.StopLossWrites,
 			RecoveryOps:    rep.FetchOps + rep.CryptoOps,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PrintAblationRecoveryBackend renders the comparison.
@@ -186,33 +187,45 @@ func AblationEndurance(rc RunConfig) ([]EnduranceRow, error) {
 		{memctrl.SchemeStrict, sim.FamilyBonsai, 0},
 		{memctrl.SchemeASIT, sim.FamilySGX, 0},
 	}
-	var rows []EnduranceRow
-	var baseWear uint64
-	for i, e := range entries {
+	// Every entry's simulation is independent; only the lifetime factor
+	// references entry 0's wear, so the runs fan out and the factors are
+	// computed in a sequential reduction afterwards.
+	type measured struct {
+		res  sim.Result
+		wear uint64
+	}
+	results, err := parallel.Map(rc.pool(), len(entries), func(_ context.Context, i int) (measured, error) {
+		e := entries[i]
 		cfg := rc.config(e.s)
 		cfg.WearPeriod = e.wear
 		ctrl, err := sim.NewController(e.f, cfg)
 		if err != nil {
-			return nil, err
+			return measured{}, err
 		}
 		res, err := sim.Run(ctrl, trace.NewGenerator(prof, rc.Seed), rc.Requests)
 		if err != nil {
-			return nil, err
+			return measured{}, err
 		}
 		_, _, wear := ctrl.Device().MaxWearAll()
-		if i == 0 {
-			baseWear = wear
-		}
+		return measured{res: res, wear: wear}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []EnduranceRow
+	baseWear := results[0].wear
+	for i, e := range entries {
+		m := results[i]
 		lf := 0.0
-		if wear > 0 {
-			lf = float64(baseWear) / float64(wear)
+		if m.wear > 0 {
+			lf = float64(baseWear) / float64(m.wear)
 		}
 		rows = append(rows, EnduranceRow{
 			Scheme:           e.s,
 			Family:           e.f,
 			WearLeveled:      e.wear > 0,
-			WritesPerRequest: res.WritesPerRequest(),
-			HottestWear:      wear,
+			WritesPerRequest: m.res.WritesPerRequest(),
+			HottestWear:      m.wear,
 			LifetimeFactor:   lf,
 		})
 	}
@@ -260,36 +273,26 @@ func AblationTriad(rc RunConfig) ([]TriadRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []TriadRow
-	for _, levels := range []int{0, 1, 2, 3} {
+	allLevels := []int{0, 1, 2, 3}
+	return parallel.Map(rc.pool(), len(allLevels), func(_ context.Context, i int) (TriadRow, error) {
+		levels := allLevels[i]
 		cfg := rc.config(memctrl.SchemeTriad)
 		cfg.TriadLevels = levels
 		res, err := runWith(cfg, prof, rc)
 		if err != nil {
-			return nil, err
+			return TriadRow{}, err
 		}
-		mcfg := cfg
-		mcfg.MemoryBytes = 16 << 20
-		ctrl, err := memctrl.NewBonsai(mcfg)
+		rep, err := miniRecovery(cfg, prof, rc.Seed)
 		if err != nil {
-			return nil, err
+			return TriadRow{}, err
 		}
-		if _, err := sim.Run(ctrl, trace.NewGenerator(prof.Scaled(mcfg.MemoryBytes/64), rc.Seed), 3000); err != nil {
-			return nil, err
-		}
-		ctrl.Crash()
-		rep, err := ctrl.Recover()
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, TriadRow{
+		return TriadRow{
 			Levels:       levels,
 			Normalized:   res.Normalized(base),
 			Recovery8TBS: recmodel.Seconds(recmodel.TriadNS(8<<40, levels)),
 			MeasuredOps:  rep.FetchOps + rep.CryptoOps,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PrintAblationTriad renders the sweep, with the Anubis row for contrast.

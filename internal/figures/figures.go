@@ -6,11 +6,13 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"anubis/internal/memctrl"
+	"anubis/internal/parallel"
 	"anubis/internal/recmodel"
 	"anubis/internal/sim"
 	"anubis/internal/trace"
@@ -32,6 +34,19 @@ type RunConfig struct {
 	CounterCacheBytes int
 	TreeCacheBytes    int
 	MetaCacheBytes    int
+	// Parallel is the evaluation engine's worker count: how many
+	// (scheme, app, size) simulation cells run concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 reproduces the legacy sequential path.
+	// Results are identical for any value — see DESIGN.md § Parallel
+	// evaluation.
+	Parallel int
+	// Ctx, when non-nil, cancels in-flight sweeps between cells.
+	Ctx context.Context
+}
+
+// pool returns the worker pool every figure sweep fans out on.
+func (rc RunConfig) pool() parallel.Pool {
+	return parallel.Pool{Workers: rc.Parallel, Ctx: rc.Ctx}
 }
 
 // DefaultRunConfig mirrors Table 1 but at a simulation-friendly scale:
@@ -82,6 +97,10 @@ func (rc RunConfig) config(s memctrl.Scheme) memctrl.Config {
 	return cfg
 }
 
+// run executes one simulation cell. Each cell constructs its own
+// controller and its own seeded trace source, so cells are fully
+// independent — the property that lets the worker pool run them
+// concurrently with bit-identical results.
 func (rc RunConfig) run(f sim.Family, s memctrl.Scheme, p trace.Profile) (sim.Result, error) {
 	ctrl, err := sim.NewController(f, rc.config(s))
 	if err != nil {
@@ -89,6 +108,10 @@ func (rc RunConfig) run(f sim.Family, s memctrl.Scheme, p trace.Profile) (sim.Re
 	}
 	return sim.Run(ctrl, trace.NewGenerator(p, rc.Seed), rc.Requests)
 }
+
+// NumApps reports how many application profiles the configuration runs
+// (used by cmd/anubis-bench to derive cell counts for the JSON report).
+func (rc RunConfig) NumApps() int { return len(rc.profiles()) }
 
 // --- Table 1 -------------------------------------------------------------------
 
@@ -156,16 +179,25 @@ type Fig7Row struct {
 
 // Fig7 measures the fraction of clean counter-cache evictions per app
 // under the write-back baseline (the observation motivating AGIT-Plus).
+// Apps run concurrently on the evaluation pool; rows come back in
+// profile order.
 func Fig7(rc RunConfig) ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, p := range rc.profiles() {
-		res, err := rc.run(sim.FamilyBonsai, memctrl.SchemeWriteBack, p)
+	profiles := rc.profiles()
+	results, err := parallel.Map(rc.pool(), len(profiles), func(_ context.Context, i int) (sim.Result, error) {
+		res, err := rc.run(sim.FamilyBonsai, memctrl.SchemeWriteBack, profiles[i])
 		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", p.Name, err)
+			return sim.Result{}, fmt.Errorf("fig7 %s: %w", profiles[i].Name, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for i, res := range results {
 		cs := res.Stats.CounterCache
 		rows = append(rows, Fig7Row{
-			App:        p.Name,
+			App:        profiles[i].Name,
 			CleanFrac:  res.CleanEvictionFrac(),
 			Evictions:  cs.Evictions,
 			FirstDirty: cs.FirstDirties,
@@ -180,12 +212,18 @@ func PrintFig7(w io.Writer, rc RunConfig) error {
 	if err != nil {
 		return err
 	}
+	PrintFig7Rows(w, rows)
+	return nil
+}
+
+// PrintFig7Rows renders already-computed Figure 7 rows (used by
+// cmd/anubis-bench, which also feeds the rows into its JSON report).
+func PrintFig7Rows(w io.Writer, rows []Fig7Row) {
 	fmt.Fprintln(w, "Figure 7: Fraction of Clean Counter-Cache Evictions")
 	fmt.Fprintf(w, "  %-12s %10s %12s\n", "app", "clean", "evictions")
 	for _, r := range rows {
 		fmt.Fprintf(w, "  %-12s %9.1f%% %12d\n", r.App, 100*r.CleanFrac, r.Evictions)
 	}
-	return nil
 }
 
 // --- Figures 10 and 11 ------------------------------------------------------------
@@ -209,22 +247,33 @@ var Fig11Schemes = []memctrl.Scheme{
 }
 
 // perfFigure runs every (app, scheme) pair and normalizes to write-back.
+//
+// All len(profiles)×len(schemes) cells fan out on the evaluation pool;
+// the reduction below consumes the results in exactly the order the old
+// sequential loop produced them (profile-major, scheme-minor, baseline
+// first), so the output — including the floating-point accumulation of
+// the averages — is identical for any worker count.
 func perfFigure(rc RunConfig, f sim.Family, schemes []memctrl.Scheme) ([]PerfRow, map[memctrl.Scheme]float64, error) {
+	profiles := rc.profiles()
+	nS := len(schemes)
+	results, err := parallel.Map(rc.pool(), len(profiles)*nS, func(_ context.Context, i int) (sim.Result, error) {
+		p, s := profiles[i/nS], schemes[i%nS]
+		res, err := rc.run(f, s, p)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("%s/%s: %w", p.Name, s, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []PerfRow
 	avg := map[memctrl.Scheme]float64{}
-	profiles := rc.profiles()
-	for _, p := range profiles {
-		base, err := rc.run(f, schemes[0], p)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s/%s: %w", p.Name, schemes[0], err)
-		}
+	for pi, p := range profiles {
+		base := results[pi*nS]
 		row := PerfRow{App: p.Name, Norm: map[memctrl.Scheme]float64{schemes[0]: 1}}
-		for _, s := range schemes[1:] {
-			res, err := rc.run(f, s, p)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s/%s: %w", p.Name, s, err)
-			}
-			row.Norm[s] = res.Normalized(base)
+		for si := 1; si < nS; si++ {
+			row.Norm[schemes[si]] = results[pi*nS+si].Normalized(base)
 		}
 		rows = append(rows, row)
 		for s, v := range row.Norm {
@@ -332,37 +381,66 @@ var Fig13Schemes = []memctrl.Scheme{
 
 // Fig13 sweeps metadata cache sizes (per-cache; ASIT uses the combined
 // total) and reports each scheme's average normalized performance.
+//
+// This is the evaluation's biggest sweep — sizes × apps × (2 baselines
+// + 3 schemes) cells — and the flagship case for the parallel engine:
+// every cell fans out, and the per-(size, app) normalization plus the
+// per-size averaging happen afterwards in the legacy accumulation
+// order, keeping the output independent of the worker count.
 func Fig13(rc RunConfig) ([]Fig13Row, error) {
 	sizes := []uint64{256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20}
-	var rows []Fig13Row
-	for _, size := range sizes {
+	type cell struct {
+		fam    sim.Family
+		scheme memctrl.Scheme
+	}
+	// Per (size, profile): the two write-back baselines first, then the
+	// plotted schemes in Fig13Schemes order.
+	cells := []cell{
+		{sim.FamilyBonsai, memctrl.SchemeWriteBack},
+		{sim.FamilySGX, memctrl.SchemeWriteBack},
+	}
+	for _, s := range Fig13Schemes {
+		fam := sim.FamilyBonsai
+		if s == memctrl.SchemeASIT {
+			fam = sim.FamilySGX
+		}
+		cells = append(cells, cell{fam, s})
+	}
+	profiles := rc.profiles()
+	nP, nC := len(profiles), len(cells)
+	withCaches := func(size uint64) RunConfig {
 		cc := rc
 		cc.CounterCacheBytes = int(size)
 		cc.TreeCacheBytes = int(size)
 		cc.MetaCacheBytes = int(2 * size)
+		return cc
+	}
+	results, err := parallel.Map(rc.pool(), len(sizes)*nP*nC, func(_ context.Context, i int) (sim.Result, error) {
+		si, rem := i/(nP*nC), i%(nP*nC)
+		pi, ci := rem/nC, rem%nC
+		cc := withCaches(sizes[si])
+		res, err := cc.run(cells[ci].fam, cells[ci].scheme, profiles[pi])
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("fig13 %s/%s/%s: %w",
+				memName(sizes[si]), profiles[pi].Name, cells[ci].scheme, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig13Row
+	for si, size := range sizes {
 		row := Fig13Row{CacheBytes: size, Norm: map[memctrl.Scheme]float64{}}
-		profiles := cc.profiles()
-		for _, p := range profiles {
-			baseB, err := cc.run(sim.FamilyBonsai, memctrl.SchemeWriteBack, p)
-			if err != nil {
-				return nil, err
-			}
-			baseS, err := cc.run(sim.FamilySGX, memctrl.SchemeWriteBack, p)
-			if err != nil {
-				return nil, err
-			}
-			for _, s := range Fig13Schemes {
-				fam := sim.FamilyBonsai
+		for pi := range profiles {
+			at := func(ci int) sim.Result { return results[si*nP*nC+pi*nC+ci] }
+			baseB, baseS := at(0), at(1)
+			for k, s := range Fig13Schemes {
 				base := baseB
 				if s == memctrl.SchemeASIT {
-					fam = sim.FamilySGX
 					base = baseS
 				}
-				res, err := cc.run(fam, s, p)
-				if err != nil {
-					return nil, err
-				}
-				row.Norm[s] += res.Normalized(base) / float64(len(profiles))
+				row.Norm[s] += at(2+k).Normalized(base) / float64(nP)
 			}
 		}
 		rows = append(rows, row)

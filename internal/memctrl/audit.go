@@ -144,12 +144,13 @@ func (b *Bonsai) AuditNVM() (*AuditReport, error) {
 			rep.DataBlocks++
 			ct := b.dev.Read(nvm.RegionData, phys)
 			side := b.dev.ReadSideband(phys)
-			pt := b.eng.Decrypt(idx, s.Counter(lane), ct[:])
-			if !ecc.CheckBlock(pt, side.ECC) {
+			var pt [BlockBytes]byte
+			b.eng.DecryptTo(pt[:], ct[:], idx, s.Counter(lane))
+			if !ecc.CheckBlock(pt[:], side.ECC) {
 				rep.violate("data block %d fails ECC", idx)
 				continue
 			}
-			if b.eng.DataMAC(idx, s.Counter(lane), pt) != side.MAC {
+			if b.eng.DataMAC(idx, s.Counter(lane), pt[:]) != side.MAC {
 				rep.violate("data block %d fails MAC", idx)
 			}
 		}
@@ -213,12 +214,13 @@ func (c *SGX) AuditNVM() (*AuditReport, error) {
 			rep.DataBlocks++
 			ct := c.dev.Read(nvm.RegionData, phys)
 			side := c.dev.ReadSideband(phys)
-			pt := c.eng.Decrypt(idx, g.Ctr[lane], ct[:])
-			if !ecc.CheckBlock(pt, side.ECC) {
+			var pt [BlockBytes]byte
+			c.eng.DecryptTo(pt[:], ct[:], idx, g.Ctr[lane])
+			if !ecc.CheckBlock(pt[:], side.ECC) {
 				rep.violate("data block %d fails ECC", idx)
 				continue
 			}
-			if c.eng.DataMAC(idx, g.Ctr[lane], pt) != side.MAC {
+			if c.eng.DataMAC(idx, g.Ctr[lane], pt[:]) != side.MAC {
 				rep.violate("data block %d fails MAC", idx)
 			}
 		}

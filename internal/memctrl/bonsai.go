@@ -334,17 +334,16 @@ func (b *Bonsai) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 	}
 	s := counter.UnpackSplit(line.Data)
 	ctr := s.Counter(lane)
-	pt := b.eng.Decrypt(idx, ctr, ct[:])
+	var pt [BlockBytes]byte
+	b.eng.DecryptTo(pt[:], ct[:], idx, ctr)
 	side := b.dev.ReadSideband(phys)
-	if !ecc.CheckBlock(pt, side.ECC) {
+	if !ecc.CheckBlock(pt[:], side.ECC) {
 		return zero, &IntegrityError{What: "data ECC mismatch", Addr: idx}
 	}
-	if b.eng.DataMAC(idx, ctr, pt) != side.MAC {
+	if b.eng.DataMAC(idx, ctr, pt[:]) != side.MAC {
 		return zero, &IntegrityError{What: "data MAC mismatch", Addr: idx}
 	}
-	var out [BlockBytes]byte
-	copy(out[:], pt)
-	return out, nil
+	return pt, nil
 }
 
 // WriteBlock encrypts and persists one data block with all metadata
@@ -417,9 +416,8 @@ func (b *Bonsai) WriteBlock(idx uint64, data [BlockBytes]byte) error {
 	// Encrypt the data under the fresh counter; ECC covers the plaintext
 	// (the Osiris sanity check), the MAC binds data to counter+address.
 	ctr := s.Counter(lane)
-	ct := b.eng.Encrypt(idx, ctr, data[:])
 	var ctBlk [BlockBytes]byte
-	copy(ctBlk[:], ct)
+	b.eng.EncryptTo(ctBlk[:], data[:], idx, ctr)
 	side := nvm.Sideband{ECC: ecc.EncodeBlock(data[:]), MAC: b.eng.DataMAC(idx, ctr, data[:]), Phase: uint8(ctr)}
 	b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: b.wl.phys(idx), Block: ctBlk, HasSide: true, Side: side})
 
@@ -490,16 +488,16 @@ func (b *Bonsai) reencryptPage(page uint64, old, fresh *counter.Split) error {
 		}
 		ct, done := b.dev.ReadAt(nvm.RegionData, phys, b.now)
 		b.now = done
-		pt := b.eng.Decrypt(idx, old.Counter(lane), ct[:])
+		var pt [BlockBytes]byte
+		b.eng.DecryptTo(pt[:], ct[:], idx, old.Counter(lane))
 		side := b.dev.ReadSideband(phys)
-		if !ecc.CheckBlock(pt, side.ECC) {
+		if !ecc.CheckBlock(pt[:], side.ECC) {
 			return &IntegrityError{What: "page re-encryption ECC mismatch", Addr: idx}
 		}
 		nctr := fresh.Counter(lane)
-		nct := b.eng.Encrypt(idx, nctr, pt)
 		var blk [BlockBytes]byte
-		copy(blk[:], nct)
-		nside := nvm.Sideband{ECC: side.ECC, MAC: b.eng.DataMAC(idx, nctr, pt), Phase: uint8(nctr)}
+		b.eng.EncryptTo(blk[:], pt[:], idx, nctr)
+		nside := nvm.Sideband{ECC: side.ECC, MAC: b.eng.DataMAC(idx, nctr, pt[:]), Phase: uint8(nctr)}
 		b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: phys, Block: blk, HasSide: true, Side: nside})
 	}
 	// Force-persist the fresh counter block (drift resets to zero).

@@ -74,10 +74,11 @@ func (b *Bonsai) osirisFixLane(idx, stored uint64, rep *RecoveryReport) (uint64,
 	ct := b.dev.Read(nvm.RegionData, phys)
 	rep.FetchOps++
 	side := b.dev.ReadSideband(phys)
+	var pt [BlockBytes]byte // reused across candidate trials: no per-trial alloc
 	verify := func(cand uint64) bool {
 		rep.CryptoOps++
-		pt := b.eng.Decrypt(idx, cand, ct[:])
-		return ecc.CheckBlock(pt, side.ECC) && b.eng.DataMAC(idx, cand, pt) == side.MAC
+		b.eng.DecryptTo(pt[:], ct[:], idx, cand)
+		return ecc.CheckBlock(pt[:], side.ECC) && b.eng.DataMAC(idx, cand, pt[:]) == side.MAC
 	}
 	if b.cfg.Recovery == RecoveryPhase {
 		// stored never exceeds the true counter, and the drift is below

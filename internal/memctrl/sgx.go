@@ -458,17 +458,16 @@ func (c *SGX) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 		return zero, nil
 	}
 	ctr := g.Ctr[lane]
-	pt := c.eng.Decrypt(idx, ctr, ct[:])
+	var pt [BlockBytes]byte
+	c.eng.DecryptTo(pt[:], ct[:], idx, ctr)
 	side := c.dev.ReadSideband(phys)
-	if !ecc.CheckBlock(pt, side.ECC) {
+	if !ecc.CheckBlock(pt[:], side.ECC) {
 		return zero, &IntegrityError{What: "data ECC mismatch", Addr: idx}
 	}
-	if c.eng.DataMAC(idx, ctr, pt) != side.MAC {
+	if c.eng.DataMAC(idx, ctr, pt[:]) != side.MAC {
 		return zero, &IntegrityError{What: "data MAC mismatch", Addr: idx}
 	}
-	var out [BlockBytes]byte
-	copy(out[:], pt)
-	return out, nil
+	return pt, nil
 }
 
 // WriteBlock encrypts and persists one data block plus the metadata
@@ -532,9 +531,10 @@ func (c *SGX) WriteBlock(idx uint64, data [BlockBytes]byte) error {
 	}
 
 	ctr := g.Ctr[lane]
-	ct := c.eng.Encrypt(idx, ctr, data[:])
+	var ctBlk [BlockBytes]byte
+	c.eng.EncryptTo(ctBlk[:], data[:], idx, ctr)
 	side := nvm.Sideband{ECC: ecc.EncodeBlock(data[:]), MAC: c.eng.DataMAC(idx, ctr, data[:])}
-	c.pending = append(c.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: c.wl.phys(idx), Block: toBlock(ct), HasSide: true, Side: side})
+	c.pending = append(c.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: c.wl.phys(idx), Block: ctBlk, HasSide: true, Side: side})
 
 	c.now += c.cfg.HashNS
 	if err := c.finishOp(); err != nil {

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"anubis/internal/memctrl"
+	"anubis/internal/trace"
+)
+
+// BenchmarkSimHotLoop measures the per-request cost of the simulation
+// hot loop (trace generation + controller write path + crypto engine)
+// on the AGIT-Plus scheme. With the pooled crypto scratch and the
+// run-wide data buffer this path is what every parallel evaluation cell
+// spends its time in, so its allocation count is reported explicitly.
+func BenchmarkSimHotLoop(b *testing.B) {
+	p, ok := trace.ByName("libquantum")
+	if !ok {
+		b.Fatal("unknown profile")
+	}
+	cfg := memctrl.DefaultConfig(memctrl.SchemeAGITPlus)
+	cfg.MemoryBytes = 64 << 20
+	ctrl, err := memctrl.NewBonsai(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trace.NewGenerator(p, 99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(ctrl, gen, b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkSimHotLoopSGX is the SGX-family (ASIT) counterpart.
+func BenchmarkSimHotLoopSGX(b *testing.B) {
+	p, ok := trace.ByName("libquantum")
+	if !ok {
+		b.Fatal("unknown profile")
+	}
+	cfg := memctrl.DefaultConfig(memctrl.SchemeASIT)
+	cfg.MemoryBytes = 64 << 20
+	ctrl, err := memctrl.NewSGX(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trace.NewGenerator(p, 99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(ctrl, gen, b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
