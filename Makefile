@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-smoke fmt clean
+.PHONY: all build vet test race verify bench bench-smoke bench-device fmt clean
 
 all: verify
 
@@ -17,11 +17,17 @@ race:
 	$(GO) test -race ./...
 
 # Tier-1 gate: everything compiles, vets clean, and the full suite
-# passes under the race detector.
-verify: build vet race
+# passes both plainly (where the zero-alloc assertions run) and under
+# the race detector (where they are skipped).
+verify: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# NVM device micro-benchmarks: paged-store reads/writes and the
+# WPQ/port scheduler, including the drain-watermark read path.
+bench-device:
+	$(GO) test -run xxx -bench 'BenchmarkDevice' -benchmem ./internal/nvm/
 
 # Reduced parallel sweep: a quick end-to-end run of the evaluation
 # harness that exercises the worker pool and the JSON reporter.

@@ -14,6 +14,12 @@
 //	anubis-bench -fig10 -apps mcf,lbm # restrict the benchmark list
 //	anubis-bench -all -parallel 8     # 8 concurrent simulation cells
 //	anubis-bench -all -json perf/     # write BENCH_<ts>.json report
+//
+// Profiling (for performance work on the simulator itself):
+//
+//	anubis-bench -fig10 -cpuprofile cpu.pprof   # go tool pprof cpu.pprof
+//	anubis-bench -fig10 -memprofile mem.pprof   # allocation profile
+//	anubis-bench -fig10 -trace trace.out        # go tool trace trace.out
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -49,8 +57,52 @@ func main() {
 			"concurrent simulation cells (1 = sequential legacy path; output is identical for any value)")
 		jsonOut = flag.String("json", "",
 			"write a machine-readable benchmark report; a directory (or trailing slash) gets BENCH_<timestamp>.json")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anubis-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "anubis-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anubis-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "anubis-bench:", err)
+			os.Exit(1)
+		}
+		defer rtrace.Stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "anubis-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "anubis-bench:", err)
+			}
+		}()
+	}
 
 	rc := figures.DefaultRunConfig()
 	rc.Requests = *n

@@ -65,6 +65,14 @@ type Cache struct {
 	lines []Line // sets*ways entries; slot = set*ways + way
 	tick  uint64
 	stats Stats
+
+	// victim is the scratch cell Insert returns a pointer to on
+	// eviction. Reusing one cell keeps the eviction path allocation-free
+	// (evictions happen on every metadata miss once a cache warms up);
+	// the returned *Victim is only valid until the next Insert, which
+	// matches every caller: controllers either write the victim back
+	// immediately or copy it by value into their writeback queue.
+	victim Victim
 }
 
 // New creates a cache with the given total number of blocks and
@@ -78,11 +86,15 @@ func New(numBlocks, ways int) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: %d sets is not a power of two", sets))
 	}
-	c := &Cache{sets: sets, ways: ways, lines: make([]Line, numBlocks)}
-	for i := range c.lines {
-		c.lines[i].slot = i
-	}
-	return c
+	// Lines carry their slot index lazily: a line's slot is assigned the
+	// first time the line is filled (Insert / InsertAtSlot). Eagerly
+	// writing slot = i here would touch the whole data array — for a
+	// 4 MB cache that is megabytes of stores per constructed controller,
+	// and figure sweeps construct one controller per (scheme, app) cell.
+	// With lazy assignment the constructor is a single zeroing
+	// allocation, and invalid lines (the only ones with an unset slot)
+	// are never surfaced by Lookup, Iterate, FlushAll, or eviction.
+	return &Cache{sets: sets, ways: ways, lines: make([]Line, numBlocks)}
 }
 
 // NumSlots returns the total number of lines (the shadow table size).
@@ -170,11 +182,14 @@ func (c *Cache) VictimFor(key uint64) *Line {
 
 // Insert places a new block in the cache, evicting the LRU unpinned line
 // of the set if necessary. It returns the line now holding the block and
-// the victim (nil if no valid line was displaced). The new line is
-// inserted clean and unpinned. Insert panics if key is already resident;
-// use Lookup first.
+// the victim (nil if no valid line was displaced). The victim pointer
+// aliases a per-cache scratch cell overwritten by the next Insert:
+// consume or copy it before inserting again. The new line is inserted
+// clean and unpinned. Insert panics if key is already resident; use
+// Lookup first.
 func (c *Cache) Insert(key uint64, data [BlockBytes]byte) (*Line, *Victim) {
-	set := c.set(key)
+	s := c.setOf(key)
+	set := c.lines[s*c.ways : (s+1)*c.ways]
 	var target *Line
 	for i := range set {
 		l := &set[i]
@@ -183,13 +198,15 @@ func (c *Cache) Insert(key uint64, data [BlockBytes]byte) (*Line, *Victim) {
 		}
 		if !l.Valid {
 			target = l
+			target.slot = s*c.ways + i // lazy slot assignment (see New)
 			break
 		}
 	}
 	var victim *Victim
 	if target == nil {
 		vl := c.VictimFor(key) // cannot be nil: no invalid way found
-		victim = &Victim{Key: vl.Key, Data: vl.Data, Dirty: vl.Dirty, Slot: vl.slot}
+		c.victim = Victim{Key: vl.Key, Data: vl.Data, Dirty: vl.Dirty, Slot: vl.slot}
+		victim = &c.victim
 		c.stats.Evictions++
 		if vl.Dirty {
 			c.stats.DirtyEvictions++
@@ -228,6 +245,7 @@ func (c *Cache) InsertAtSlot(slot int, key uint64, data [BlockBytes]byte) *Line 
 	if l.Valid {
 		panic("cache: InsertAtSlot into occupied slot")
 	}
+	l.slot = slot // lazy slot assignment (see New)
 	c.tick++
 	l.Key = key
 	l.Data = data

@@ -11,7 +11,10 @@
 // and Osiris recovery paths.
 package ecc
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // WordBytes is the protected word size in bytes (64 data bits).
 const WordBytes = 8
@@ -36,6 +39,15 @@ var dataPositions [64]uint
 // positionOfData maps a codeword position to its data bit index, or -1.
 var positionOfData [72]int
 
+// parityMasks[pi] has data bit di set iff that bit participates in the
+// Hamming parity at position parityPositions[pi]
+// (dataPositions[di] & parityPositions[pi] != 0). Each parity is then a
+// single POPCNT of word & mask instead of a 64-iteration bit loop —
+// Encode sits on the Osiris/Anubis recovery discriminator path and on
+// every data write's sideband generation, where the bit-serial version
+// dominated whole-sweep profiles.
+var parityMasks [7]uint64
+
 func init() {
 	for i := range positionOfData {
 		positionOfData[i] = -1
@@ -51,6 +63,15 @@ func init() {
 	}
 	if di != 64 {
 		panic("ecc: internal layout error")
+	}
+	for pi, pp := range parityPositions {
+		var m uint64
+		for i, pos := range dataPositions {
+			if pos&pp != 0 {
+				m |= 1 << uint(i)
+			}
+		}
+		parityMasks[pi] = m
 	}
 }
 
@@ -88,24 +109,12 @@ func (r CheckResult) String() string {
 // bit 7 is the overall parity over all 72 codeword bits.
 func Encode(word uint64) uint8 {
 	var ecc uint8
-	for pi, pp := range parityPositions {
-		var p uint
-		for di := 0; di < 64; di++ {
-			if dataPositions[di]&pp != 0 {
-				p ^= uint(word>>uint(di)) & 1
-			}
-		}
-		ecc |= uint8(p) << uint(pi)
+	for pi := range parityMasks {
+		ecc |= uint8(bits.OnesCount64(word&parityMasks[pi])&1) << uint(pi)
 	}
 	// Overall parity covers every codeword bit including the seven
 	// Hamming parities, so that a flipped parity bit is also caught.
-	var all uint
-	for di := 0; di < 64; di++ {
-		all ^= uint(word>>uint(di)) & 1
-	}
-	for pi := 0; pi < 7; pi++ {
-		all ^= uint(ecc>>uint(pi)) & 1
-	}
+	all := (bits.OnesCount64(word) + bits.OnesCount8(ecc)) & 1
 	ecc |= uint8(all) << 7
 	return ecc
 }
@@ -129,14 +138,7 @@ func Correct(word uint64, ecc uint8) (uint64, CheckResult) {
 	// Overall parity is evaluated over the *received* codeword (data bits
 	// plus all eight received check bits); a valid or double-error word
 	// has even parity, any single-bit error has odd parity.
-	var overall uint
-	for di := 0; di < 64; di++ {
-		overall ^= uint(word>>uint(di)) & 1
-	}
-	for pi := 0; pi < 8; pi++ {
-		overall ^= uint(ecc>>uint(pi)) & 1
-	}
-	overallMismatch := overall != 0
+	overallMismatch := (bits.OnesCount64(word)+bits.OnesCount8(ecc))&1 != 0
 	switch {
 	case syndrome == 0 && overallMismatch:
 		// Only the overall parity bit itself flipped.

@@ -225,3 +225,50 @@ func BenchmarkEncodeBlock(b *testing.B) {
 		EncodeBlock(block)
 	}
 }
+
+// encodeRef is the bit-serial reference implementation Encode was
+// derived from: one XOR per participating data bit per parity. The
+// popcount-based Encode must agree with it on every input.
+func encodeRef(word uint64) uint8 {
+	var ecc uint8
+	for pi, pp := range parityPositions {
+		var p uint
+		for di := 0; di < 64; di++ {
+			if dataPositions[di]&pp != 0 {
+				p ^= uint(word>>uint(di)) & 1
+			}
+		}
+		ecc |= uint8(p) << uint(pi)
+	}
+	var all uint
+	for di := 0; di < 64; di++ {
+		all ^= uint(word>>uint(di)) & 1
+	}
+	for pi := 0; pi < 7; pi++ {
+		all ^= uint(ecc>>uint(pi)) & 1
+	}
+	ecc |= uint8(all) << 7
+	return ecc
+}
+
+// TestEncodeMatchesReference pins the popcount fast path to the
+// bit-serial definition: single-bit words (which isolate every mask
+// column), edge patterns, and a quick-check sweep.
+func TestEncodeMatchesReference(t *testing.T) {
+	for di := 0; di < 64; di++ {
+		w := uint64(1) << uint(di)
+		if got, want := Encode(w), encodeRef(w); got != want {
+			t.Fatalf("Encode(bit %d) = %#x, want %#x", di, got, want)
+		}
+	}
+	for _, w := range []uint64{0, ^uint64(0), 0xAAAAAAAAAAAAAAAA, 0x5555555555555555} {
+		if got, want := Encode(w), encodeRef(w); got != want {
+			t.Fatalf("Encode(%#x) = %#x, want %#x", w, got, want)
+		}
+	}
+	if err := quick.Check(func(w uint64) bool {
+		return Encode(w) == encodeRef(w)
+	}, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,21 +46,21 @@ func OpenBonsai(cfg Config, dev *nvm.Device) (*Bonsai, error) {
 		return nil, fmt.Errorf("memctrl: scheme %v is not a general-tree scheme", cfg.Scheme)
 	}
 	b := &Bonsai{
-		cfg:         cfg,
-		dev:         dev,
-		eng:         cryptoeng.NewTestEngine(),
-		numBlocks:   cfg.MemoryBytes / BlockBytes,
-		numPages:    cfg.MemoryBytes / PageBytes,
-		cCache:      cache.New(cfg.CounterCacheBlocks, cfg.CounterCacheWays),
-		tCache:      cache.New(cfg.TreeCacheBlocks, cfg.TreeCacheWays),
-		updateCount: make(map[uint64]int),
-		crashed:     true,
+		cfg:       cfg,
+		dev:       dev,
+		eng:       cryptoeng.NewTestEngine(),
+		numBlocks: cfg.MemoryBytes / BlockBytes,
+		numPages:  cfg.MemoryBytes / PageBytes,
+		cCache:    cache.New(cfg.CounterCacheBlocks, cfg.CounterCacheWays),
+		tCache:    cache.New(cfg.TreeCacheBlocks, cfg.TreeCacheWays),
+		crashed:   true,
 	}
 	b.geom = merkle.NewGeometry(b.numPages)
 	if b.agit() {
 		b.sct = shadow.NewAddrTable(b.cCache.NumSlots())
 		b.smt = shadow.NewAddrTable(b.tCache.NumSlots())
 	}
+	b.reserveRegions()
 	b.computeTreeDefaults()
 	return b, nil
 }
@@ -77,13 +77,12 @@ func OpenSGX(cfg Config, dev *nvm.Device) (*SGX, error) {
 		return nil, fmt.Errorf("memctrl: scheme %v is not an SGX-tree scheme", cfg.Scheme)
 	}
 	c := &SGX{
-		cfg:         cfg,
-		dev:         dev,
-		eng:         cryptoeng.NewTestEngine(),
-		numBlocks:   cfg.MemoryBytes / BlockBytes,
-		mCache:      cache.New(cfg.MetaCacheBlocks, cfg.MetaCacheWays),
-		updateCount: make(map[uint64]int),
-		crashed:     true,
+		cfg:       cfg,
+		dev:       dev,
+		eng:       cryptoeng.NewTestEngine(),
+		numBlocks: cfg.MemoryBytes / BlockBytes,
+		mCache:    cache.New(cfg.MetaCacheBlocks, cfg.MetaCacheWays),
+		crashed:   true,
 	}
 	c.numLeaves = c.numBlocks / counter.SGXCounters
 	c.geom = merkle.NewGeometry(c.numLeaves)
@@ -95,6 +94,7 @@ func OpenSGX(cfg Config, dev *nvm.Device) (*SGX, error) {
 			c.stNodes[l] = make([]merkle.GNode, c.stGeom.NodesAt(l))
 		}
 	}
+	c.reserveRegions()
 	return c, nil
 }
 

@@ -38,8 +38,9 @@ type Bonsai struct {
 	smt *shadow.AddrTable
 
 	// updateCount tracks un-persisted updates per cached counter block
-	// for the Osiris stop-loss rule.
-	updateCount map[uint64]int
+	// for the Osiris stop-loss rule. Paged (see nvm.Counters): the write
+	// hot path pays two slice indexations instead of a map hash.
+	updateCount nvm.Counters
 
 	// Volatile mirror of the on-chip root register.
 	rootHash uint64
@@ -73,14 +74,13 @@ func NewBonsai(cfg Config) (*Bonsai, error) {
 		return nil, fmt.Errorf("memctrl: scheme %v is not a general-tree scheme", cfg.Scheme)
 	}
 	b := &Bonsai{
-		cfg:         cfg,
-		dev:         nvm.NewDevice(cfg.Timing),
-		eng:         cryptoeng.NewTestEngine(),
-		numBlocks:   cfg.MemoryBytes / BlockBytes,
-		numPages:    cfg.MemoryBytes / PageBytes,
-		cCache:      cache.New(cfg.CounterCacheBlocks, cfg.CounterCacheWays),
-		tCache:      cache.New(cfg.TreeCacheBlocks, cfg.TreeCacheWays),
-		updateCount: make(map[uint64]int),
+		cfg:       cfg,
+		dev:       nvm.NewDevice(cfg.Timing),
+		eng:       cryptoeng.NewTestEngine(),
+		numBlocks: cfg.MemoryBytes / BlockBytes,
+		numPages:  cfg.MemoryBytes / PageBytes,
+		cCache:    cache.New(cfg.CounterCacheBlocks, cfg.CounterCacheWays),
+		tCache:    cache.New(cfg.TreeCacheBlocks, cfg.TreeCacheWays),
 	}
 	b.geom = merkle.NewGeometry(b.numPages)
 	b.wl = newWearLeveler(b.dev, b.numBlocks, cfg.WearPeriod)
@@ -88,6 +88,7 @@ func NewBonsai(cfg Config) (*Bonsai, error) {
 		b.sct = shadow.NewAddrTable(b.cCache.NumSlots())
 		b.smt = shadow.NewAddrTable(b.tCache.NumSlots())
 	}
+	b.reserveRegions()
 	b.initTreeDefaults()
 	b.dev.ResetStats()
 	return b, nil
@@ -95,6 +96,20 @@ func NewBonsai(cfg Config) (*Bonsai, error) {
 
 func (b *Bonsai) agit() bool {
 	return b.cfg.Scheme == SchemeAGITRead || b.cfg.Scheme == SchemeAGITPlus
+}
+
+// reserveRegions declares every region's extent to the device so page
+// directories are allocated once at final size (the +1 on the data
+// region covers the Start-Gap spare line).
+func (b *Bonsai) reserveRegions() {
+	b.dev.Reserve(nvm.RegionData, b.numBlocks+1)
+	b.dev.Reserve(nvm.RegionCounter, b.numPages)
+	b.dev.Reserve(nvm.RegionTree, b.geom.TotalNodes())
+	if b.sct != nil {
+		b.dev.Reserve(nvm.RegionSCT, b.sct.NumBlocks())
+		b.dev.Reserve(nvm.RegionSMT, b.smt.NumBlocks())
+	}
+	b.updateCount.Reserve(b.numPages)
 }
 
 // computeTreeDefaults derives the per-level default node contents and
@@ -179,29 +194,22 @@ func (b *Bonsai) Stats() RunStats {
 // level's default for never-written nodes. Timed variants advance the
 // clock; untimed variants are for recovery (which counts its own ops).
 func (b *Bonsai) treeNodeNVM(flat uint64) merkle.GNode {
-	if b.dev.Has(nvm.RegionTree, flat) {
-		return b.dev.Read(nvm.RegionTree, flat)
+	blk, ok := b.dev.ReadPtr(nvm.RegionTree, flat) // costs a fetch either way
+	if ok {
+		return *blk
 	}
 	level, _ := b.geom.Unflat(flat)
-	b.dev.Read(nvm.RegionTree, flat) // still costs a fetch
 	return b.defNode[level]
 }
 
 func (b *Bonsai) treeNodeNVMTimed(flat uint64) merkle.GNode {
-	has := b.dev.Has(nvm.RegionTree, flat)
-	blk, done := b.dev.ReadAt(nvm.RegionTree, flat, b.now)
+	blk, ok, done := b.dev.ReadAtPtr(nvm.RegionTree, flat, b.now)
 	b.now = done
-	if has {
-		return blk
+	if ok {
+		return *blk
 	}
 	level, _ := b.geom.Unflat(flat)
 	return b.defNode[level]
-}
-
-func (b *Bonsai) counterNVMTimed(page uint64) [BlockBytes]byte {
-	blk, done := b.dev.ReadAt(nvm.RegionCounter, page, b.now)
-	b.now = done
-	return blk
 }
 
 // --- metadata fetch with verification ----------------------------------------
@@ -244,7 +252,11 @@ func (b *Bonsai) getCounterBlock(page uint64) (*cache.Line, error) {
 	if line, ok := b.cCache.Lookup(page); ok {
 		return line, nil
 	}
-	blk := b.counterNVMTimed(page)
+	// Zero-copy fetch: blk points into the device's paged store (or the
+	// shared zero block). Nothing below writes the counter region before
+	// the Insert copy, so the pointer stays valid.
+	blk, _, done := b.dev.ReadAtPtr(nvm.RegionCounter, page, b.now)
+	b.now = done
 	h := b.eng.ContentHash(blk[:])
 	pnode, slot := b.geom.LeafParent(page)
 	parent, err := b.getTreeNode(0, pnode)
@@ -255,7 +267,7 @@ func (b *Bonsai) getCounterBlock(page uint64) (*cache.Line, error) {
 	if pn.Hash(slot) != h {
 		return nil, &IntegrityError{What: "counter block hash mismatch", Addr: page}
 	}
-	line, victim := b.cCache.Insert(page, blk)
+	line, victim := b.cCache.Insert(page, *blk)
 	b.writeBackCounterVictim(victim)
 	if b.cfg.Scheme == SchemeAGITRead {
 		b.shadowCounterSlot(line.Slot(), page)
@@ -274,7 +286,7 @@ func (b *Bonsai) writeBackCounterVictim(v *cache.Victim) {
 	if v == nil {
 		return
 	}
-	delete(b.updateCount, v.Key)
+	b.updateCount.Set(v.Key, 0)
 	if !v.Dirty {
 		return
 	}
@@ -316,10 +328,12 @@ func (b *Bonsai) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 	b.stats.ReadRequests++
 	page, lane := idx/counter.SplitMinors, int(idx%counter.SplitMinors)
 
-	// Data fetch overlaps the metadata walk: both start now.
+	// Data fetch overlaps the metadata walk: both start now. The
+	// zero-copy pointer stays valid across the metadata walk because
+	// nothing in it writes the data region.
 	start := b.now
 	phys := b.wl.phys(idx)
-	ct, dataDone := b.dev.ReadAt(nvm.RegionData, phys, start)
+	ct, has, dataDone := b.dev.ReadAtPtr(nvm.RegionData, phys, start)
 	line, err := b.getCounterBlock(page)
 	if err != nil {
 		return zero, err
@@ -329,7 +343,7 @@ func (b *Bonsai) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 	}
 	b.now += b.cfg.HashNS // MAC verification (path verifications overlap)
 
-	if !b.dev.Has(nvm.RegionData, phys) {
+	if !has {
 		return zero, nil // never written: logical zeros
 	}
 	s := counter.UnpackSplit(line.Data)
@@ -405,9 +419,8 @@ func (b *Bonsai) WriteBlock(idx uint64, data [BlockBytes]byte) error {
 	// without any extra counter writes.
 	if b.cfg.Scheme != SchemeWriteBack && b.cfg.Scheme != SchemeStrict &&
 		b.cfg.Scheme != SchemeSelective && b.cfg.Recovery != RecoveryPhase {
-		b.updateCount[page]++
-		if b.updateCount[page] >= b.cfg.StopLoss {
-			b.updateCount[page] = 0
+		if b.updateCount.Inc(page) >= b.cfg.StopLoss {
+			b.updateCount.Set(page, 0)
 			b.stats.StopLossWrites++
 			b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionCounter, Index: page, Block: line.Data})
 		}
@@ -486,7 +499,7 @@ func (b *Bonsai) reencryptPage(page uint64, old, fresh *counter.Split) error {
 		if !b.dev.Has(nvm.RegionData, phys) {
 			continue
 		}
-		ct, done := b.dev.ReadAt(nvm.RegionData, phys, b.now)
+		ct, _, done := b.dev.ReadAtPtr(nvm.RegionData, phys, b.now)
 		b.now = done
 		var pt [BlockBytes]byte
 		b.eng.DecryptTo(pt[:], ct[:], idx, old.Counter(lane))
@@ -501,7 +514,7 @@ func (b *Bonsai) reencryptPage(page uint64, old, fresh *counter.Split) error {
 		b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: phys, Block: blk, HasSide: true, Side: nside})
 	}
 	// Force-persist the fresh counter block (drift resets to zero).
-	b.updateCount[page] = 0
+	b.updateCount.Set(page, 0)
 	b.stats.StopLossWrites++
 	b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionCounter, Index: page, Block: fresh.Pack()})
 	return nil
@@ -537,9 +550,7 @@ func (b *Bonsai) FlushCaches() {
 	b.tCache.FlushAll(func(flat uint64, data [BlockBytes]byte) {
 		b.now = b.dev.Push(nvm.PendingWrite{Region: nvm.RegionTree, Index: flat, Block: data}, b.now)
 	})
-	for k := range b.updateCount {
-		delete(b.updateCount, k)
-	}
+	b.updateCount.Reset()
 }
 
 // Crash models a power failure: caches, shadow mirrors, and in-flight
@@ -549,9 +560,7 @@ func (b *Bonsai) Crash() {
 	b.dev.Crash()
 	b.cCache.DropAll()
 	b.tCache.DropAll()
-	for k := range b.updateCount {
-		delete(b.updateCount, k)
-	}
+	b.updateCount.Reset()
 	b.pending = b.pending[:0]
 	b.rootHash = 0
 	b.crashed = true

@@ -50,8 +50,9 @@ type SGX struct {
 	// Volatile mirror of the on-chip root node register.
 	rootNode counter.SGX
 
-	// Osiris stop-loss bookkeeping (per cached leaf block).
-	updateCount map[uint64]int
+	// Osiris stop-loss bookkeeping (per cached leaf block). Paged (see
+	// nvm.Counters): no map hashing on the write hot path.
+	updateCount nvm.Counters
 
 	// ASIT state: shadow table mirror plus its volatile protection tree.
 	st      *shadow.STTable
@@ -88,12 +89,11 @@ func NewSGX(cfg Config) (*SGX, error) {
 		return nil, fmt.Errorf("memctrl: scheme %v is not an SGX-tree scheme", cfg.Scheme)
 	}
 	c := &SGX{
-		cfg:         cfg,
-		dev:         nvm.NewDevice(cfg.Timing),
-		eng:         cryptoeng.NewTestEngine(),
-		numBlocks:   cfg.MemoryBytes / BlockBytes,
-		mCache:      cache.New(cfg.MetaCacheBlocks, cfg.MetaCacheWays),
-		updateCount: make(map[uint64]int),
+		cfg:       cfg,
+		dev:       nvm.NewDevice(cfg.Timing),
+		eng:       cryptoeng.NewTestEngine(),
+		numBlocks: cfg.MemoryBytes / BlockBytes,
+		mCache:    cache.New(cfg.MetaCacheBlocks, cfg.MetaCacheWays),
 	}
 	c.numLeaves = c.numBlocks / counter.SGXCounters
 	c.geom = merkle.NewGeometry(c.numLeaves)
@@ -104,6 +104,7 @@ func NewSGX(cfg Config) (*SGX, error) {
 		c.stGeom = merkle.NewGeometry(uint64(c.st.NumSlots()))
 		c.initShadowTree()
 	}
+	c.reserveRegions()
 	c.dev.ResetStats()
 	return c, nil
 }
@@ -111,6 +112,19 @@ func NewSGX(cfg Config) (*SGX, error) {
 func packSGX(g *counter.SGX) []byte {
 	b := g.Pack()
 	return b[:]
+}
+
+// reserveRegions declares every region's extent to the device so page
+// directories are allocated once at final size (the +1 on the data
+// region covers the Start-Gap spare line).
+func (c *SGX) reserveRegions() {
+	c.dev.Reserve(nvm.RegionData, c.numBlocks+1)
+	c.dev.Reserve(nvm.RegionCounter, c.numLeaves)
+	c.dev.Reserve(nvm.RegionTree, c.geom.TotalNodes())
+	if c.st != nil {
+		c.dev.Reserve(nvm.RegionST, uint64(c.st.NumSlots()))
+	}
+	c.updateCount.Reserve(c.numLeaves)
 }
 
 // --- metadata block references ------------------------------------------------
@@ -291,7 +305,7 @@ func (c *SGX) writeBackVictim(v *cache.Victim) error {
 	}
 	r := c.refOfKey(v.Key)
 	if r.isLeaf {
-		delete(c.updateCount, r.idx)
+		c.updateCount.Set(r.idx, 0)
 	}
 	g := counter.UnpackSGX(v.Data)
 
@@ -437,9 +451,13 @@ func (c *SGX) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 	c.stats.ReadRequests++
 	leaf, lane := idx/counter.SGXCounters, int(idx%counter.SGXCounters)
 
+	// Zero-copy data fetch overlapping the metadata walk. The pointer
+	// (and the presence bit) stay valid across getMeta/finishOp: a read
+	// operation's atomic group only ever contains metadata writes, never
+	// data-region writes.
 	start := c.now
 	phys := c.wl.phys(idx)
-	ct, dataDone := c.dev.ReadAt(nvm.RegionData, phys, start)
+	ct, has, dataDone := c.dev.ReadAtPtr(nvm.RegionData, phys, start)
 	line, err := c.getMeta(metaRef{isLeaf: true, idx: leaf})
 	if err != nil {
 		c.finishOp()
@@ -454,7 +472,7 @@ func (c *SGX) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 		return zero, err
 	}
 
-	if !c.dev.Has(nvm.RegionData, phys) {
+	if !has {
 		return zero, nil
 	}
 	ctr := g.Ctr[lane]
@@ -499,9 +517,8 @@ func (c *SGX) WriteBlock(idx uint64, data [BlockBytes]byte) error {
 		}
 	case SchemeOsiris:
 		c.mCache.MarkDirty(c.keyOf(r))
-		c.updateCount[leaf]++
-		if c.updateCount[leaf] >= c.cfg.StopLoss {
-			c.updateCount[leaf] = 0
+		if c.updateCount.Inc(leaf) >= c.cfg.StopLoss {
+			c.updateCount.Set(leaf, 0)
 			c.stats.StopLossWrites++
 			c.mCache.Pin(c.keyOf(r))
 			pc, err := c.parentCounterOf(r)
@@ -669,9 +686,7 @@ func (c *SGX) FlushCaches() {
 func (c *SGX) Crash() {
 	c.dev.Crash()
 	c.mCache.DropAll()
-	for k := range c.updateCount {
-		delete(c.updateCount, k)
-	}
+	c.updateCount.Reset()
 	c.pending = c.pending[:0]
 	c.wbq = c.wbq[:0]
 	c.rootNode = counter.SGX{}

@@ -15,16 +15,18 @@
 //     secure processor keeps on chip (Merkle root, SGX root nonces,
 //     SHADOW_TREE_ROOT).
 //
+// Storage is a paged sparse store (see paged.go) and WPQ/write-port
+// occupancy is a sorted ring plus an earliest-free port heap (see
+// sched.go), so the simulation hot path — ReadAt and Push — performs
+// no map operations and no allocations.
+//
 // Crash semantics: everything written through the WPQ, the persistent
 // registers, and the register file survive Crash(); nothing else does
 // (caches and other volatile controller state live outside this
 // package and are dropped by their owners).
 package nvm
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // BlockBytes is the device block (cache line) size.
 const BlockBytes = 64
@@ -136,12 +138,11 @@ type PendingWrite struct {
 type Device struct {
 	timing Timing
 
-	store [numRegions]map[uint64][BlockBytes]byte
-	side  map[uint64]Sideband
+	store [numRegions]pagedStore
 
-	bankFree  []uint64 // per-bank next-free time for reads (ns)
-	writeFree []uint64 // per-write-port next-free time (PCM writes are drain-limited)
-	wpqDone   []uint64 // completion times of writes still occupying the WPQ
+	bankFree []uint64 // per-bank next-free time for reads (ns)
+	ports    portHeap // per-write-port next-free times (PCM writes are drain-limited)
+	wpq      wpqRing  // completion times of writes still occupying the WPQ
 
 	stats Stats
 
@@ -154,10 +155,6 @@ type Device struct {
 
 	// regs is the on-chip persistent register file.
 	regs map[string][BlockBytes]byte
-
-	// wear counts media writes per block, for endurance analysis: PCM
-	// cells endure ~10^8 writes, so the hottest block bounds lifetime.
-	wear [numRegions]map[uint64]uint64
 }
 
 // NewDevice creates an empty device with the given timing.
@@ -168,19 +165,24 @@ func NewDevice(t Timing) *Device {
 	if t.WritePorts <= 0 {
 		t.WritePorts = 1
 	}
-	d := &Device{
+	return &Device{
 		timing:     t,
-		side:       make(map[uint64]Sideband),
 		bankFree:   make([]uint64, t.Banks),
-		writeFree:  make([]uint64, t.WritePorts),
+		ports:      newPortHeap(t.WritePorts),
+		wpq:        newWPQRing(t.WPQEntries),
 		regs:       make(map[string][BlockBytes]byte),
 		pushBudget: -1,
 	}
-	for r := range d.store {
-		d.store[r] = make(map[uint64][BlockBytes]byte)
-		d.wear[r] = make(map[uint64]uint64)
-	}
-	return d
+}
+
+// Reserve declares a region's extent (its number of block indices), the
+// way a real DIMM has fixed geometry. The page directory is allocated
+// once at full size, so first touches never pay geometric directory
+// regrowth. Indices beyond the reservation stay legal — the directory
+// grows, or overflows to a map, on demand — and reserving is always
+// optional.
+func (d *Device) Reserve(r Region, blocks uint64) {
+	d.store[r].reserve((blocks + pageMask) >> pageShift)
 }
 
 // Timing returns the device's timing parameters.
@@ -198,20 +200,17 @@ func (d *Device) bankOf(r Region, idx uint64) int {
 	return int(h>>32) % d.timing.Banks
 }
 
-// ReadAt reads a block, returning its contents and the completion time
-// given the request arrives at time now. A read arriving while the
-// write queue is above the drain watermark waits until enough writes
-// have drained (write-drain mode blocks reads).
-func (d *Device) ReadAt(r Region, idx uint64, now uint64) ([BlockBytes]byte, uint64) {
-	d.stats.Reads++
-	d.stats.ReadsByRegion[r]++
+// readClock advances the device's read-side clocks for a request
+// arriving at now: drain-watermark blocking, then bank occupancy. It
+// returns the completion time.
+func (d *Device) readClock(r Region, idx uint64, now uint64) uint64 {
 	start := now
 	if wm := d.timing.DrainWatermark; wm > 0 {
-		d.wpqPrune(now)
-		if excess := len(d.wpqDone) - wm; excess >= 0 {
+		d.wpq.prune(now)
+		if excess := d.wpq.size - wm; excess >= 0 {
 			// Wait for the (excess+1)-th earliest completion, after which
 			// the queue is back below the watermark.
-			t := nthSmallest(d.wpqDone, excess)
+			t := d.wpq.kth(excess)
 			if t > start {
 				d.stats.DrainStallNS += t - start
 				start = t
@@ -224,50 +223,60 @@ func (d *Device) ReadAt(r Region, idx uint64, now uint64) ([BlockBytes]byte, uin
 	}
 	done := start + d.timing.ReadNS
 	d.bankFree[b] = done
-	return d.store[r][idx], done
+	return done
 }
 
-// nthSmallest returns the n-th smallest element (0-based) of a small
-// slice without mutating it.
-func nthSmallest(xs []uint64, n int) uint64 {
-	cp := append([]uint64(nil), xs...)
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
-	if n >= len(cp) {
-		n = len(cp) - 1
-	}
-	return cp[n]
+// ReadAt reads a block, returning its contents and the completion time
+// given the request arrives at time now. A read arriving while the
+// write queue is above the drain watermark waits until enough writes
+// have drained (write-drain mode blocks reads).
+func (d *Device) ReadAt(r Region, idx uint64, now uint64) ([BlockBytes]byte, uint64) {
+	blk, _, done := d.ReadAtPtr(r, idx, now)
+	return *blk, done
+}
+
+// ReadAtPtr is the zero-copy form of ReadAt: it returns a pointer to
+// the stored block (or to a shared zero block when the block was never
+// written), whether the block is present, and the completion time. The
+// pointed-to content is read-only and valid until the next write to
+// the same block; hot paths consume it immediately.
+func (d *Device) ReadAtPtr(r Region, idx uint64, now uint64) (*[BlockBytes]byte, bool, uint64) {
+	d.stats.Reads++
+	d.stats.ReadsByRegion[r]++
+	done := d.readClock(r, idx, now)
+	blk, ok := d.store[r].blockPtr(idx)
+	return blk, ok, done
 }
 
 // Read reads a block without timing (recovery paths account their own
 // time with the paper's 100 ns/op model).
 func (d *Device) Read(r Region, idx uint64) [BlockBytes]byte {
+	blk, _ := d.ReadPtr(r, idx)
+	return *blk
+}
+
+// ReadPtr is the zero-copy, untimed form of Read; same aliasing
+// contract as ReadAtPtr.
+func (d *Device) ReadPtr(r Region, idx uint64) (*[BlockBytes]byte, bool) {
 	d.stats.Reads++
 	d.stats.ReadsByRegion[r]++
-	return d.store[r][idx]
+	return d.store[r].blockPtr(idx)
 }
 
 // ReadSideband returns the ECC+MAC sideband of a data block.
 func (d *Device) ReadSideband(idx uint64) Sideband {
-	return d.side[idx]
+	p := d.store[RegionData].pageAt(idx)
+	if p == nil || p.side == nil {
+		return Sideband{}
+	}
+	return p.side[idx&pageMask]
 }
 
 // Has reports whether a block was ever written. Controllers use it to
 // distinguish never-initialized blocks (logical zeros with well-defined
 // default metadata) from genuinely stored content.
 func (d *Device) Has(r Region, idx uint64) bool {
-	_, ok := d.store[r][idx]
-	return ok
-}
-
-// wpqPrune drops completed writes from the queue occupancy model.
-func (d *Device) wpqPrune(now uint64) {
-	keep := d.wpqDone[:0]
-	for _, t := range d.wpqDone {
-		if t > now {
-			keep = append(keep, t)
-		}
-	}
-	d.wpqDone = keep
+	return d.store[r].has(idx)
 }
 
 // Push makes a write durable (it enters the ADR domain) and schedules
@@ -275,40 +284,29 @@ func (d *Device) wpqPrune(now uint64) {
 // normally `now`, later if the WPQ was full and the caller had to stall.
 func (d *Device) Push(w PendingWrite, now uint64) uint64 {
 	if w.RegName != "" {
-		d.apply(w)
+		d.apply(&w)
 		return now
 	}
-	d.wpqPrune(now)
-	for len(d.wpqDone) >= d.timing.WPQEntries {
+	d.wpq.prune(now)
+	for d.wpq.size >= d.timing.WPQEntries {
 		// Stall until the earliest queued write completes.
-		earliest := d.wpqDone[0]
-		for _, t := range d.wpqDone {
-			if t < earliest {
-				earliest = t
-			}
-		}
+		earliest := d.wpq.min()
 		d.stats.WPQStallNS += earliest - now
 		now = earliest
-		d.wpqPrune(now)
+		d.wpq.prune(now)
 	}
-	d.apply(w)
+	d.apply(&w)
 	// PCM writes are slow and effectively serialize on the rank's write
 	// path (long write-recovery occupancy), which is what makes strict
 	// persistence's write amplification so expensive. The caller does
 	// not wait for the drain — only for a free WPQ slot above.
-	// Pick the earliest-free write port.
-	port := 0
-	for i := 1; i < len(d.writeFree); i++ {
-		if d.writeFree[i] < d.writeFree[port] {
-			port = i
-		}
-	}
+	// The drain occupies the earliest-free write port.
 	start := now
-	if d.writeFree[port] > start {
-		start = d.writeFree[port]
+	if f := d.ports.minFree(); f > start {
+		start = f
 	}
 	done := start + d.timing.WriteNS
-	d.writeFree[port] = done
+	d.ports.occupyMin(done)
 	// The drain also occupies the target bank: reads to it wait out the
 	// write, which is how metadata write amplification inflates read
 	// latency even below saturation.
@@ -316,13 +314,13 @@ func (d *Device) Push(w PendingWrite, now uint64) uint64 {
 	if done > d.bankFree[b] {
 		d.bankFree[b] = done
 	}
-	d.wpqDone = append(d.wpqDone, done)
+	d.wpq.push(done)
 	return now
 }
 
 // apply commits a write to the persistent store (the functional effect
 // of reaching the ADR domain).
-func (d *Device) apply(w PendingWrite) {
+func (d *Device) apply(w *PendingWrite) {
 	if w.RegName != "" {
 		// On-chip register: durable immediately, no media traffic.
 		d.regs[w.RegName] = w.Block
@@ -330,13 +328,22 @@ func (d *Device) apply(w PendingWrite) {
 	}
 	d.stats.Writes++
 	d.stats.WritesByRegion[w.Region]++
-	d.wear[w.Region][w.Index]++
-	d.store[w.Region][w.Index] = w.Block
+	s := &d.store[w.Region]
+	p, o := s.slot(w.Index)
+	p.wear[o]++
+	if p.present[o>>6]&(1<<(o&63)) == 0 {
+		p.present[o>>6] |= 1 << (o & 63)
+		s.count++
+	}
+	p.data[o] = w.Block
 	if w.HasSide {
 		if w.Region != RegionData {
 			panic("nvm: sideband write outside the data region")
 		}
-		d.side[w.Index] = w.Side
+		if p.side == nil {
+			p.side = new([pageBlocks]Sideband)
+		}
+		p.side[o] = w.Side
 	}
 }
 
@@ -346,23 +353,31 @@ func (d *Device) apply(w PendingWrite) {
 func (d *Device) WriteRaw(r Region, idx uint64, blk [BlockBytes]byte) {
 	d.stats.Writes++
 	d.stats.WritesByRegion[r]++
-	d.wear[r][idx]++
-	d.store[r][idx] = blk
+	s := &d.store[r]
+	p, o := s.slot(idx)
+	p.wear[o]++
+	if p.present[o>>6]&(1<<(o&63)) == 0 {
+		p.present[o>>6] |= 1 << (o & 63)
+		s.count++
+	}
+	p.data[o] = blk
 }
 
 // WearOf returns the number of media writes a block has absorbed.
 func (d *Device) WearOf(r Region, idx uint64) uint64 {
-	return d.wear[r][idx]
+	return d.store[r].wearOf(idx)
 }
 
 // MaxWear returns the hottest block of a region and its write count —
 // the cell that dies first and therefore bounds device lifetime.
 func (d *Device) MaxWear(r Region) (idx, count uint64) {
-	for i, c := range d.wear[r] {
-		if c > count || (c == count && i < idx) {
-			idx, count = i, c
+	d.store[r].forEachPage(func(base uint64, p *page) {
+		for o := 0; o < pageBlocks; o++ {
+			if c := p.wear[o]; c > count {
+				idx, count = base+uint64(o), c
+			}
 		}
-	}
+	})
 	return idx, count
 }
 
@@ -379,7 +394,11 @@ func (d *Device) MaxWearAll() (r Region, idx, count uint64) {
 // WriteRawData installs a data block with sideband, bypassing timing.
 func (d *Device) WriteRawData(idx uint64, blk [BlockBytes]byte, s Sideband) {
 	d.WriteRaw(RegionData, idx, blk)
-	d.side[idx] = s
+	p, o := d.store[RegionData].slot(idx)
+	if p.side == nil {
+		p.side = new([pageBlocks]Sideband)
+	}
+	p.side[o] = s
 }
 
 // Erase removes a block from the medium (used by wear leveling when an
@@ -388,33 +407,60 @@ func (d *Device) WriteRawData(idx uint64, blk [BlockBytes]byte, s Sideband) {
 func (d *Device) Erase(r Region, idx uint64) {
 	d.stats.Writes++
 	d.stats.WritesByRegion[r]++
-	d.wear[r][idx]++
-	delete(d.store[r], idx)
-	if r == RegionData {
-		delete(d.side, idx)
+	s := &d.store[r]
+	p, o := s.slot(idx)
+	p.wear[o]++
+	if p.present[o>>6]&(1<<(o&63)) != 0 {
+		p.present[o>>6] &^= 1 << (o & 63)
+		s.count--
+	}
+	p.data[o] = zeroBlock
+	if p.side != nil {
+		p.side[o] = Sideband{}
 	}
 }
 
 // CorruptBlock XORs a mask into a stored block, modeling an attacker or
 // media fault. It reports whether the block existed.
 func (d *Device) CorruptBlock(r Region, idx uint64, byteIdx int, mask byte) bool {
-	blk, ok := d.store[r][idx]
-	if !ok {
+	s := &d.store[r]
+	p := s.pageAt(idx)
+	if p == nil {
 		return false
 	}
-	blk[byteIdx] ^= mask
-	d.store[r][idx] = blk
+	o := idx & pageMask
+	if p.present[o>>6]&(1<<(o&63)) == 0 {
+		return false
+	}
+	p.data[o][byteIdx] ^= mask
 	return true
 }
 
 // BlocksIn returns the sorted indices of blocks ever written in a region.
 func (d *Device) BlocksIn(r Region) []uint64 {
-	out := make([]uint64, 0, len(d.store[r]))
-	for idx := range d.store[r] {
-		out = append(out, idx)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	s := &d.store[r]
+	out := make([]uint64, 0, s.count)
+	s.forEachPage(func(base uint64, p *page) {
+		for w, bits := range p.present {
+			for bits != 0 {
+				o := uint64(w)<<6 | uint64(trailingZeros64(bits))
+				out = append(out, base+o)
+				bits &= bits - 1
+			}
+		}
+	})
 	return out
+}
+
+// trailingZeros64 is math/bits.TrailingZeros64 (kept local to avoid the
+// import for one call site).
+func trailingZeros64(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
 }
 
 // --- two-stage commit (persistent registers + DONE_BIT) -------------------
@@ -477,8 +523,8 @@ func (d *Device) RedoCommitted() int {
 		return 0
 	}
 	n := len(d.staged)
-	for _, w := range d.staged {
-		d.apply(w)
+	for i := range d.staged {
+		d.apply(&d.staged[i])
 	}
 	d.staged = d.staged[:0]
 	d.doneBit = false
@@ -541,8 +587,6 @@ func (d *Device) Crash() {
 	for i := range d.bankFree {
 		d.bankFree[i] = 0
 	}
-	for i := range d.writeFree {
-		d.writeFree[i] = 0
-	}
-	d.wpqDone = d.wpqDone[:0]
+	d.ports.reset()
+	d.wpq.reset()
 }

@@ -333,8 +333,13 @@ func TestNewDevicePanicsOnBadTiming(t *testing.T) {
 	}
 }
 
-func BenchmarkPush(b *testing.B) {
+// --- micro-benchmarks --------------------------------------------------------
+
+// BenchmarkDevicePush measures the durable-write fast path: WPQ prune +
+// sorted-ring insert + port-heap occupy + paged-store apply.
+func BenchmarkDevicePush(b *testing.B) {
 	d := newDev()
+	b.ReportAllocs()
 	now := uint64(0)
 	for i := 0; i < b.N; i++ {
 		now = d.Push(PendingWrite{Region: RegionData, Index: uint64(i) & 0xffff}, now)
@@ -342,10 +347,94 @@ func BenchmarkPush(b *testing.B) {
 	}
 }
 
-func BenchmarkReadAt(b *testing.B) {
+// BenchmarkDeviceReadAt measures the timed read path over a warmed
+// footprint (page hit: two slice indexations and a bit test).
+func BenchmarkDeviceReadAt(b *testing.B) {
 	d := newDev()
+	b.ReportAllocs()
 	now := uint64(0)
 	for i := 0; i < b.N; i++ {
 		_, now = d.ReadAt(RegionData, uint64(i)&0xffff, now)
+	}
+}
+
+// BenchmarkDeviceDrainMode measures reads issued while the WPQ sits at
+// its watermark: every read pays prune + the k-th-earliest watermark
+// query before the bank clock. Writes are replenished with zero gap so
+// the queue never falls below the watermark.
+func BenchmarkDeviceDrainMode(b *testing.B) {
+	d := newDev()
+	b.ReportAllocs()
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		now = d.Push(PendingWrite{Region: RegionData, Index: uint64(i) & 0xffff}, now)
+		_, now = d.ReadAt(RegionData, uint64(i)&0xffff, now)
+	}
+}
+
+// --- zero-allocation guarantees ----------------------------------------------
+
+// TestDeviceHotPathZeroAllocs pins the steady-state allocation count of
+// the device hot paths at zero: once a footprint's pages exist, reads,
+// writes, watermark queries, and wear accounting must not touch the
+// heap. This is what keeps sweep cells from hammering the garbage
+// collector at figure scale.
+func TestDeviceHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates on instrumented accesses; counts are not meaningful")
+	}
+	d := newDev()
+	// Warm the footprint: allocate every page and fill the WPQ machinery.
+	now := uint64(0)
+	for i := uint64(0); i < 4096; i++ {
+		now = d.Push(PendingWrite{Region: RegionData, Index: i, HasSide: true}, now)
+		_, now = d.ReadAt(RegionData, i, now)
+	}
+	cases := map[string]func(){
+		"Push": func() {
+			now = d.Push(PendingWrite{Region: RegionData, Index: now & 0xfff, HasSide: true}, now)
+			now += 200
+		},
+		"ReadAt": func() {
+			_, now = d.ReadAt(RegionData, now&0xfff, now)
+		},
+		"ReadAtPtr": func() {
+			_, _, now = d.ReadAtPtr(RegionData, now&0xfff, now)
+		},
+		"Has+WearOf": func() {
+			d.Has(RegionData, now&0xfff)
+			d.WearOf(RegionData, now&0xfff)
+		},
+		"drain-mode read": func() {
+			now = d.Push(PendingWrite{Region: RegionData, Index: now & 0xfff}, now)
+			_, now = d.ReadAt(RegionData, (now+1)&0xfff, now)
+		},
+	}
+	for name, fn := range cases {
+		if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+			t.Errorf("%s: %.2f allocs/op, want 0", name, avg)
+		}
+	}
+}
+
+// TestCountersZeroAllocs asserts the paged update-counter replacement
+// for map[uint64]int is allocation-free once its pages exist.
+func TestCountersZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates on instrumented accesses; counts are not meaningful")
+	}
+	var c Counters
+	c.Reserve(4096)
+	for i := uint64(0); i < 4096; i++ {
+		c.Inc(i)
+	}
+	var i uint64
+	if avg := testing.AllocsPerRun(200, func() {
+		c.Inc(i & 0xfff)
+		c.Get((i + 1) & 0xfff)
+		c.Set((i+2)&0xfff, 0)
+		i++
+	}); avg != 0 {
+		t.Errorf("Counters: %.2f allocs/op, want 0", avg)
 	}
 }

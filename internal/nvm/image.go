@@ -6,6 +6,10 @@ package nvm
 // the persistence domain — the block stores, data sideband, on-chip
 // persistent registers, committed-but-undrained groups, and wear
 // counters. Volatile timing state is deliberately excluded.
+//
+// The on-disk format is the original map-based v1 gob encoding, so
+// images written before the paged-store rewrite still load. Save
+// flattens the paged store into maps; Load rebuilds pages from them.
 
 import (
 	"encoding/gob"
@@ -35,12 +39,34 @@ func (d *Device) Save(w io.Writer) error {
 	img := deviceImage{
 		Magic:   imageMagic,
 		Timing:  d.timing,
-		Store:   d.store,
-		Side:    d.side,
+		Side:    make(map[uint64]Sideband),
 		Regs:    d.regs,
-		Wear:    d.wear,
 		Staged:  d.staged,
 		DoneBit: d.doneBit,
+	}
+	for r := Region(0); r < numRegions; r++ {
+		store := make(map[uint64][BlockBytes]byte)
+		wear := make(map[uint64]uint64)
+		d.store[r].forEachPage(func(base uint64, p *page) {
+			for o := 0; o < pageBlocks; o++ {
+				idx := base + uint64(o)
+				if p.present[o>>6]&(1<<(uint(o)&63)) != 0 {
+					store[idx] = p.data[o]
+					if r == RegionData && p.side != nil {
+						if s := p.side[o]; s != (Sideband{}) {
+							img.Side[idx] = s
+						}
+					}
+				}
+				// Wear survives Erase: record it for every cell ever
+				// written to media, present or not.
+				if c := p.wear[o]; c > 0 {
+					wear[idx] = c
+				}
+			}
+		})
+		img.Store[r] = store
+		img.Wear[r] = wear
 	}
 	if err := gob.NewEncoder(w).Encode(&img); err != nil {
 		return fmt.Errorf("nvm: save image: %w", err)
@@ -61,25 +87,28 @@ func LoadDevice(r io.Reader) (*Device, error) {
 		return nil, fmt.Errorf("nvm: not an NVM image (magic %q)", img.Magic)
 	}
 	d := NewDevice(img.Timing)
-	d.store = img.Store
-	d.side = img.Side
-	d.regs = img.Regs
-	d.wear = img.Wear
+	for reg := Region(0); reg < numRegions; reg++ {
+		s := &d.store[reg]
+		for idx, blk := range img.Store[reg] {
+			b := blk
+			s.setPresent(idx, &b)
+		}
+		for idx, c := range img.Wear[reg] {
+			p, o := s.slot(idx)
+			p.wear[o] = c
+		}
+	}
+	for idx, sb := range img.Side {
+		p, o := d.store[RegionData].slot(idx)
+		if p.side == nil {
+			p.side = new([pageBlocks]Sideband)
+		}
+		p.side[o] = sb
+	}
+	if img.Regs != nil {
+		d.regs = img.Regs
+	}
 	d.staged = img.Staged
 	d.doneBit = img.DoneBit
-	for r := range d.store {
-		if d.store[r] == nil {
-			d.store[r] = make(map[uint64][BlockBytes]byte)
-		}
-		if d.wear[r] == nil {
-			d.wear[r] = make(map[uint64]uint64)
-		}
-	}
-	if d.side == nil {
-		d.side = make(map[uint64]Sideband)
-	}
-	if d.regs == nil {
-		d.regs = make(map[string][BlockBytes]byte)
-	}
 	return d, nil
 }

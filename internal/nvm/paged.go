@@ -1,0 +1,339 @@
+package nvm
+
+import "sort"
+
+// Paged sparse storage.
+//
+// The original Device kept one Go map per region (blocks), one for the
+// data sideband, and one wear map per region. At sweep scale every
+// simulated access paid map hashing plus a 64-byte value copy, and
+// every media write paid a second map op for wear accounting. The
+// paged store replaces all of that with fixed-size pages — a flat data
+// array, a presence bitmap (preserving Has()'s "ever written, not
+// erased" semantics), per-block wear counters, and a lazily allocated
+// sideband array for the data region — reached through a dense page
+// directory indexed by idx >> pageShift. A page hit is two slice
+// indexations and a bit test: zero map ops, zero 64-byte copies when
+// callers use the pointer-returning accessors.
+//
+// The directory itself stores int32 page handles rather than *page
+// pointers. A multi-GB region reserved up front needs a directory with
+// millions of entries; as []*page that is megabytes of pointer slots
+// the garbage collector must scan on every cycle, and sweeps that
+// construct one device per (scheme, app) cell turn that scanning into
+// measurable GC assist time. []int32 is pointer-free (noscan): the GC
+// skips the directory entirely, and the reservation allocation is half
+// the size. Handles are 1-based; 0 means "no page"; handle h resolves
+// to pages[h-1].
+
+const (
+	// pageShift selects 16-block (1 KB data) pages. Page size trades the
+	// cost of a cold first touch (allocating and zeroing one fresh page)
+	// against directory length and per-page header overhead. Simulation
+	// sweeps are first-touch heavy — every (scheme, app) cell starts from
+	// a fresh device and visits a sliver of a multi-GB address space — so
+	// pages are kept small enough that a cold miss costs about what the
+	// old triple map insert (store + wear + side) did, while a page hit
+	// stays two slice indexations and a bit test.
+	pageShift  = 4
+	pageBlocks = 1 << pageShift
+	pageMask   = pageBlocks - 1
+
+	// presentWords sizes the presence bitmap (at least one word).
+	presentWords = (pageBlocks + 63) / 64
+
+	// maxDirPages caps the dense directory (2^24 pages = 2^28 blocks =
+	// 16 GB of 64-byte blocks per region). Blocks above the cap land
+	// in an overflow map so a stray huge index cannot force a giant
+	// directory allocation.
+	maxDirPages = 1 << 24
+)
+
+// page is the unit of sparse allocation: presence bitmap, wear
+// counters, block data, and (data region only) the DIMM sideband.
+type page struct {
+	present [presentWords]uint64
+	wear    [pageBlocks]uint64
+	data    [pageBlocks][BlockBytes]byte
+	side    *[pageBlocks]Sideband // allocated on first sideband write
+}
+
+// zeroBlock is what pointer-returning reads of never-written (or
+// erased) blocks resolve to. Callers treat returned block pointers as
+// read-only; Device's own mutators never write through it.
+var zeroBlock [BlockBytes]byte
+
+// pagedStore is one region's sparse block store.
+type pagedStore struct {
+	dir   []int32          // dense directory of 1-based handles (noscan)
+	pages []*page          // handle h -> pages[h-1]
+	over  map[uint64]*page // pages at index >= maxDirPages
+	count int              // blocks with the presence bit set
+}
+
+// reserve pre-sizes the directory to hold pages [0, n), clamped to the
+// directory cap. A reserved store never pays geometric regrowth — the
+// dominant first-touch cost for multi-million-block regions.
+func (s *pagedStore) reserve(n uint64) {
+	if n > maxDirPages {
+		n = maxDirPages
+	}
+	if n > uint64(len(s.dir)) {
+		grown := make([]int32, n)
+		copy(grown, s.dir)
+		s.dir = grown
+	}
+}
+
+// pageAt returns the page holding idx, or nil if it was never touched.
+func (s *pagedStore) pageAt(idx uint64) *page {
+	pi := idx >> pageShift
+	if pi < uint64(len(s.dir)) {
+		if h := s.dir[pi]; h != 0 {
+			return s.pages[h-1]
+		}
+		return nil
+	}
+	if pi >= maxDirPages {
+		return s.over[pi]
+	}
+	return nil
+}
+
+// slot returns the (page, offset) cell for idx, allocating the page —
+// and growing the directory — on first touch.
+func (s *pagedStore) slot(idx uint64) (*page, uint64) {
+	pi := idx >> pageShift
+	if pi < maxDirPages {
+		if pi >= uint64(len(s.dir)) {
+			// Geometric growth keeps repeated appends amortized O(1).
+			n := uint64(len(s.dir))*2 + 1
+			if n <= pi {
+				n = pi + 1
+			}
+			if n > maxDirPages {
+				n = maxDirPages
+			}
+			grown := make([]int32, n)
+			copy(grown, s.dir)
+			s.dir = grown
+		}
+		h := s.dir[pi]
+		if h == 0 {
+			s.pages = append(s.pages, &page{})
+			h = int32(len(s.pages))
+			s.dir[pi] = h
+		}
+		return s.pages[h-1], idx & pageMask
+	}
+	if s.over == nil {
+		s.over = make(map[uint64]*page)
+	}
+	p := s.over[pi]
+	if p == nil {
+		p = &page{}
+		s.over[pi] = p
+	}
+	return p, idx & pageMask
+}
+
+// blockPtr returns a pointer to idx's stored content and whether the
+// block is present. Absent blocks resolve to the shared zero block.
+func (s *pagedStore) blockPtr(idx uint64) (*[BlockBytes]byte, bool) {
+	p := s.pageAt(idx)
+	if p == nil {
+		return &zeroBlock, false
+	}
+	o := idx & pageMask
+	if p.present[o>>6]&(1<<(o&63)) == 0 {
+		return &zeroBlock, false
+	}
+	return &p.data[o], true
+}
+
+// has reports the presence bit without touching data.
+func (s *pagedStore) has(idx uint64) bool {
+	p := s.pageAt(idx)
+	if p == nil {
+		return false
+	}
+	o := idx & pageMask
+	return p.present[o>>6]&(1<<(o&63)) != 0
+}
+
+// setPresent installs blk at idx (no wear accounting — callers that
+// model media writes bump wear themselves).
+func (s *pagedStore) setPresent(idx uint64, blk *[BlockBytes]byte) {
+	p, o := s.slot(idx)
+	if p.present[o>>6]&(1<<(o&63)) == 0 {
+		p.present[o>>6] |= 1 << (o & 63)
+		s.count++
+	}
+	p.data[o] = *blk
+}
+
+// erase clears the presence bit and zeroes the cell, preserving wear.
+func (s *pagedStore) erase(idx uint64) {
+	p, o := s.slot(idx)
+	if p.present[o>>6]&(1<<(o&63)) != 0 {
+		p.present[o>>6] &^= 1 << (o & 63)
+		s.count--
+	}
+	p.data[o] = zeroBlock
+	if p.side != nil {
+		p.side[o] = Sideband{}
+	}
+}
+
+// wearOf returns the media-write count of one block.
+func (s *pagedStore) wearOf(idx uint64) uint64 {
+	p := s.pageAt(idx)
+	if p == nil {
+		return 0
+	}
+	return p.wear[idx&pageMask]
+}
+
+// forEachPage visits every allocated page in ascending page-index
+// order (directory first, then sorted overflow) — the deterministic
+// iteration order the map-backed implementation obtained by sorting.
+func (s *pagedStore) forEachPage(fn func(base uint64, p *page)) {
+	for pi, h := range s.dir {
+		if h != 0 {
+			fn(uint64(pi)<<pageShift, s.pages[h-1])
+		}
+	}
+	if len(s.over) > 0 {
+		keys := make([]uint64, 0, len(s.over))
+		for pi := range s.over {
+			keys = append(keys, pi)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, pi := range keys {
+			fn(pi<<pageShift, s.over[pi])
+		}
+	}
+}
+
+// reset drops every page (used by image loading, not by Crash: NVM
+// content survives power loss).
+func (s *pagedStore) reset() {
+	*s = pagedStore{}
+}
+
+// --- paged update counters (exported) ----------------------------------------
+
+// counterPage mirrors the block-page geometry for small per-block
+// integer counters.
+type counterPage [pageBlocks]int32
+
+// Counters is a paged replacement for map[uint64]int keyed by block
+// index: the memory controllers track per-counter-block update drift
+// (the Osiris stop-loss rule) on the write hot path, and a Go map there
+// costs a hash plus, under growth, an allocation per request. Counters
+// shares the device's page machinery: dense noscan handle directory +
+// fixed pages, zero allocations steady-state.
+//
+// The zero Counters is ready to use.
+type Counters struct {
+	dir   []int32 // 1-based handles (noscan)
+	pages []*counterPage
+	over  map[uint64]*counterPage
+}
+
+func (c *Counters) pageAt(idx uint64) *counterPage {
+	pi := idx >> pageShift
+	if pi < uint64(len(c.dir)) {
+		if h := c.dir[pi]; h != 0 {
+			return c.pages[h-1]
+		}
+		return nil
+	}
+	if pi >= maxDirPages {
+		return c.over[pi]
+	}
+	return nil
+}
+
+func (c *Counters) slot(idx uint64) *int32 {
+	pi := idx >> pageShift
+	if pi < maxDirPages {
+		if pi >= uint64(len(c.dir)) {
+			n := uint64(len(c.dir))*2 + 1
+			if n <= pi {
+				n = pi + 1
+			}
+			if n > maxDirPages {
+				n = maxDirPages
+			}
+			grown := make([]int32, n)
+			copy(grown, c.dir)
+			c.dir = grown
+		}
+		h := c.dir[pi]
+		if h == 0 {
+			c.pages = append(c.pages, &counterPage{})
+			h = int32(len(c.pages))
+			c.dir[pi] = h
+		}
+		return &c.pages[h-1][idx&pageMask]
+	}
+	if c.over == nil {
+		c.over = make(map[uint64]*counterPage)
+	}
+	p := c.over[pi]
+	if p == nil {
+		p = &counterPage{}
+		c.over[pi] = p
+	}
+	return &p[idx&pageMask]
+}
+
+// Get returns the counter at idx (0 if never set).
+func (c *Counters) Get(idx uint64) int {
+	p := c.pageAt(idx)
+	if p == nil {
+		return 0
+	}
+	return int(p[idx&pageMask])
+}
+
+// Inc increments the counter at idx and returns the new value.
+func (c *Counters) Inc(idx uint64) int {
+	s := c.slot(idx)
+	*s++
+	return int(*s)
+}
+
+// Set stores v at idx. Set(idx, 0) is the paged analogue of map delete.
+func (c *Counters) Set(idx uint64, v int) {
+	// Avoid allocating a page just to record the default value.
+	if v == 0 && c.pageAt(idx) == nil {
+		return
+	}
+	*c.slot(idx) = int32(v)
+}
+
+// Reserve pre-sizes the directory for indices [0, n): like
+// Device.Reserve, it removes geometric regrowth from the hot path.
+func (c *Counters) Reserve(n uint64) {
+	pages := (n + pageMask) >> pageShift
+	if pages > maxDirPages {
+		pages = maxDirPages
+	}
+	if pages > uint64(len(c.dir)) {
+		grown := make([]int32, pages)
+		copy(grown, c.dir)
+		c.dir = grown
+	}
+}
+
+// Reset drops every counter (the analogue of clearing the map). The
+// directory reservation is kept.
+func (c *Counters) Reset() {
+	for i := range c.dir {
+		c.dir[i] = 0
+	}
+	c.pages = c.pages[:0]
+	c.over = nil
+}

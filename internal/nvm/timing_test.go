@@ -121,17 +121,74 @@ func TestRegisterWritesInCommitGroups(t *testing.T) {
 	}
 }
 
-func TestNthSmallest(t *testing.T) {
-	xs := []uint64{30, 10, 20}
-	if nthSmallest(xs, 0) != 10 || nthSmallest(xs, 1) != 20 || nthSmallest(xs, 2) != 30 {
-		t.Fatal("nthSmallest wrong")
+func TestWPQRingKth(t *testing.T) {
+	q := newWPQRing(8)
+	// Out-of-order pushes exercise the insertion-sort fallback.
+	for _, v := range []uint64{30, 10, 20} {
+		q.push(v)
 	}
-	if nthSmallest(xs, 99) != 30 {
-		t.Fatal("clamping wrong")
+	if q.kth(0) != 10 || q.kth(1) != 20 || q.kth(2) != 30 {
+		t.Fatalf("kth wrong: %d %d %d", q.kth(0), q.kth(1), q.kth(2))
 	}
-	// Input must not be mutated.
-	if xs[0] != 30 {
-		t.Fatal("nthSmallest mutated input")
+	if q.min() != 10 {
+		t.Fatalf("min = %d, want 10", q.min())
+	}
+	q.prune(15)
+	if q.size != 2 || q.min() != 20 {
+		t.Fatalf("after prune: size=%d min=%d", q.size, q.min())
+	}
+	// Wrap the ring around its backing array.
+	for _, v := range []uint64{40, 50, 60, 70, 80, 90} {
+		q.push(v)
+	}
+	q.prune(45)
+	q.push(100)
+	want := []uint64{50, 60, 70, 80, 90, 100}
+	for i, w := range want {
+		if q.kth(i) != w {
+			t.Fatalf("kth(%d) = %d, want %d", i, q.kth(i), w)
+		}
+	}
+}
+
+// TestWPQWatermarkImpossibleExcess is the regression test for the old
+// nthSmallest clamp: asking for a completion index at or beyond the
+// queue occupancy is an invariant violation (excess = size - wm can
+// never reach size for wm >= 1) and must panic instead of silently
+// returning the latest completion.
+func TestWPQWatermarkImpossibleExcess(t *testing.T) {
+	q := newWPQRing(8)
+	q.push(10)
+	q.push(20)
+	for _, k := range []int{2, 99, -1} {
+		k := k
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("kth(%d) with 2 queued writes did not panic", k)
+				}
+			}()
+			q.kth(k)
+		}()
+	}
+}
+
+func TestPortHeapTieBreak(t *testing.T) {
+	h := newPortHeap(3)
+	// All ports free at 0: the heap must hand out the lowest index
+	// first, matching the old linear scan's deterministic choice.
+	h.occupyMin(100) // port 0
+	h.occupyMin(100) // port 1
+	if h.minFree() != 0 {
+		t.Fatalf("minFree = %d, want 0 (port 2 still free)", h.minFree())
+	}
+	h.occupyMin(50) // port 2
+	if h.minFree() != 50 {
+		t.Fatalf("minFree = %d, want 50", h.minFree())
+	}
+	h.reset()
+	if h.minFree() != 0 {
+		t.Fatal("reset did not free ports")
 	}
 }
 

@@ -52,3 +52,58 @@ func BenchmarkSimHotLoopSGX(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
+
+// TestRunSteadyStateZeroAllocs pins the steady-state allocation count
+// of the whole request chain — trace generation, controller read/write
+// path, crypto engine, paged NVM store — at zero per request. The warm
+// phase populates caches, shadow tables, and device pages; after it,
+// requests must not touch the heap (Osiris stop-loss counters, WPQ
+// occupancy, and wear accounting included).
+func TestRunSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates on instrumented accesses; counts are not meaningful")
+	}
+	for _, tc := range []struct {
+		name   string
+		scheme memctrl.Scheme
+	}{
+		{"agit-plus", memctrl.SchemeAGITPlus},
+		{"asit", memctrl.SchemeASIT},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, ok := trace.ByName("libquantum")
+			if !ok {
+				t.Fatal("unknown profile")
+			}
+			cfg := memctrl.DefaultConfig(tc.scheme)
+			// Small enough that the warm phase touches every page of
+			// every region: steady state means no first-touch page
+			// allocations are left in the paged store.
+			cfg.MemoryBytes = 4 << 20
+			var (
+				ctrl memctrl.Controller
+				err  error
+			)
+			if tc.scheme == memctrl.SchemeASIT {
+				ctrl, err = memctrl.NewSGX(cfg)
+			} else {
+				ctrl, err = memctrl.NewBonsai(cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := trace.NewGenerator(p, 99)
+			if _, err := Run(ctrl, gen, 200000); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(50, func() {
+				if _, err := Run(ctrl, gen, 50); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if perReq := avg / 50; perReq > 0.02 {
+				t.Errorf("steady-state Run: %.3f allocs/request, want 0", perReq)
+			}
+		})
+	}
+}
