@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-smoke bench-device fmt clean
+.PHONY: all build vet test race verify bench bench-smoke bench-device bench-json bench-tools fmt clean
 
 all: verify
 
@@ -18,8 +18,9 @@ race:
 
 # Tier-1 gate: everything compiles, vets clean, and the full suite
 # passes both plainly (where the zero-alloc assertions run) and under
-# the race detector (where they are skipped).
-verify: build vet test race
+# the race detector (where they are skipped). bench-tools is a
+# build-only smoke for the benchmark tooling — no wall-clock gate.
+verify: build vet test race bench-tools
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -35,6 +36,21 @@ bench-smoke:
 	mkdir -p results
 	$(GO) run ./cmd/anubis-bench -fig10 -fig11 -n 2000 \
 		-apps mcf,lbm,libquantum -parallel 4 -json results/
+
+# PR-tracking benchmark record: the fixed suite matrix (quick + full
+# scale, sequential + parallel, forked-vs-cold recovery sweep) written
+# to results/BENCH_3.json. Compare against the previous PR's record:
+#   go run ./scripts/bench_compare results/BENCH_2.json results/BENCH_3.json
+bench-json:
+	mkdir -p results
+	$(GO) run ./cmd/anubis-bench -suite -trials 50 -json results/BENCH_3.json
+
+# Build-only smoke: the suite driver and the comparison tool keep
+# compiling. Deliberately runs no benchmarks (wall-clock is too noisy
+# to gate tier-1 on).
+bench-tools:
+	$(GO) build -o /dev/null ./cmd/anubis-bench
+	$(GO) build -o /dev/null ./scripts/bench_compare
 
 fmt:
 	gofmt -w .

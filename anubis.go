@@ -312,6 +312,18 @@ func (s *System) WriteRange(off uint64, data []byte) error {
 // Flush writes back all dirty metadata (orderly shutdown).
 func (s *System) Flush() { s.ctrl.FlushCaches() }
 
+// Fork returns an independent copy-on-write clone of the system: the
+// NVM image is shared until either side writes to a page, and all
+// volatile controller state is duplicated, so the child behaves exactly
+// like a system that lived through the parent's history. Useful for
+// checkpoint/what-if exploration — e.g. crash-injecting many trials
+// against one warmed-up state. Parent and child may each be forked
+// again; a single Fork call must not race with operations on the
+// parent (clone first, then run the two on separate goroutines).
+func (s *System) Fork() *System {
+	return &System{ctrl: s.ctrl.Clone(), scheme: s.scheme}
+}
+
 // Crash simulates a power failure: all volatile state (metadata caches,
 // uncommitted writes) is lost; NVM, the WPQ, and on-chip persistent
 // registers survive. The System refuses I/O until Recover is called.

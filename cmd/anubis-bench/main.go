@@ -14,6 +14,8 @@
 //	anubis-bench -fig10 -apps mcf,lbm # restrict the benchmark list
 //	anubis-bench -all -parallel 8     # 8 concurrent simulation cells
 //	anubis-bench -all -json perf/     # write BENCH_<ts>.json report
+//	anubis-bench -recovery -trials 200  # crash-point sweep off one warm fork
+//	anubis-bench -suite -json results/  # PR-tracking benchmark matrix (make bench-json)
 //
 // Profiling (for performance work on the simulator itself):
 //
@@ -49,11 +51,16 @@ func main() {
 		fig13    = flag.Bool("fig13", false, "Figure 13: performance sensitivity to cache size")
 		headline = flag.Bool("headline", false, "headline recovery comparison")
 		ablation = flag.Bool("ablations", false, "design-choice ablations (stop-loss, recovery backend, endurance)")
-		n        = flag.Int("n", 40000, "requests per (app, scheme) simulation")
-		mem      = flag.Uint64("mem", 256<<20, "simulated memory bytes for performance runs")
-		apps     = flag.String("apps", "", "comma-separated app subset (default: all 11)")
-		seed     = flag.Int64("seed", 99, "trace generator seed")
-		workers  = flag.Int("parallel", runtime.GOMAXPROCS(0),
+		recovery = flag.Bool("recovery", false, "recovery-time distribution from many crash points (forked warm state)")
+		suite    = flag.Bool("suite", false,
+			"run the PR-tracking benchmark matrix (quick+full scale, seq+parallel, forked-vs-cold recovery sweep) — see `make bench-json`")
+		trials = flag.Int("trials", 100,
+			"crash points per recovery sweep (forking a warm controller makes 10x the old per-trial-fill count affordable)")
+		n       = flag.Int("n", 40000, "requests per (app, scheme) simulation")
+		mem     = flag.Uint64("mem", 256<<20, "simulated memory bytes for performance runs")
+		apps    = flag.String("apps", "", "comma-separated app subset (default: all 11)")
+		seed    = flag.Int64("seed", 99, "trace generator seed")
+		workers = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"concurrent simulation cells (1 = sequential legacy path; output is identical for any value)")
 		jsonOut = flag.String("json", "",
 			"write a machine-readable benchmark report; a directory (or trailing slash) gets BENCH_<timestamp>.json")
@@ -120,6 +127,22 @@ func main() {
 		os.Exit(1)
 	}
 	rep := newReport(*workers, *n, *mem, *seed, rc.Apps)
+
+	if *suite {
+		if err := runSuite(rep, out, *seed, *trials); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "total: %.0f ms wall, %d simulation cells\n", rep.TotalWallMS, rep.TotalCells)
+		if *jsonOut != "" {
+			path := resolvePath(*jsonOut, time.Now())
+			if err := rep.write(path); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+		return
+	}
+
 	section := func(name string, cells int, fn func() (map[string]float64, error)) {
 		any = true
 		if err := rep.record(name, cells, fn); err != nil {
@@ -202,6 +225,14 @@ func main() {
 		})
 		section("ablation_triad", 4, func() (map[string]float64, error) {
 			return nil, figures.PrintAblationTriad(out, rc)
+		})
+	}
+	if *all || *recovery {
+		// One fill per scheme plus trials × (window + recovery); the
+		// fills are the only whole-trace simulations, so the cell count
+		// reported is 2 (AGIT-Plus + ASIT warm-ups).
+		section("recovery_sweep", 2, func() (map[string]float64, error) {
+			return nil, figures.PrintRecoverySweep(out, rc, *trials)
 		})
 	}
 	if *all || *headline {

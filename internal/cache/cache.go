@@ -339,6 +339,17 @@ func (c *Cache) Iterate(fn func(l *Line)) {
 	}
 }
 
+// Clone returns an independent deep copy: same geometry, same resident
+// lines in the same slots with identical LRU ordering, dirty bits, pin
+// counts, and statistics. A cloned cache and its source evolve exactly
+// alike under identical request streams, which is what makes forked
+// warm controllers byte-equivalent to cold-started ones.
+func (c *Cache) Clone() *Cache {
+	n := *c
+	n.lines = append([]Line(nil), c.lines...)
+	return &n
+}
+
 // DirtyCount returns the number of dirty resident lines.
 func (c *Cache) DirtyCount() int {
 	n := 0

@@ -52,7 +52,7 @@ func AblationStopLoss(rc RunConfig) ([]StopLossRow, error) {
 			return StopLossRow{}, err
 		}
 		// Measure recovery trials at a reduced scale.
-		rep, err := miniRecovery(cfg, prof, rc.Seed)
+		rep, err := miniRecovery(cfg, prof, rc)
 		if err != nil {
 			return StopLossRow{}, err
 		}
@@ -67,15 +67,18 @@ func AblationStopLoss(rc RunConfig) ([]StopLossRow, error) {
 
 // miniRecovery runs a reduced-scale workload on a fresh Bonsai
 // controller, crashes it, and returns the recovery report. The warm-up,
-// crash, and recovery are inherently sequential within one cell.
-func miniRecovery(cfg memctrl.Config, prof trace.Profile, seed int64) (*memctrl.RecoveryReport, error) {
+// crash, and recovery are inherently sequential within one cell; the
+// warm-up stream comes from the shared arena (scaled profiles have
+// their own arena key, so all stop-loss/backend/triad points share one
+// materialization).
+func miniRecovery(cfg memctrl.Config, prof trace.Profile, rc RunConfig) (*memctrl.RecoveryReport, error) {
 	mcfg := cfg
 	mcfg.MemoryBytes = 16 << 20
 	ctrl, err := memctrl.NewBonsai(mcfg)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sim.Run(ctrl, trace.NewGenerator(prof.Scaled(mcfg.MemoryBytes/64), seed), 3000); err != nil {
+	if _, err := sim.Run(ctrl, rc.sourceN(prof.Scaled(mcfg.MemoryBytes/64), 3000), 3000); err != nil {
 		return nil, err
 	}
 	ctrl.Crash()
@@ -87,7 +90,7 @@ func runWith(cfg memctrl.Config, prof trace.Profile, rc RunConfig) (sim.Result, 
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.Run(ctrl, trace.NewGenerator(prof, rc.Seed), rc.Requests)
+	return sim.Run(ctrl, rc.source(prof), rc.Requests)
 }
 
 // PrintAblationStopLoss renders the sweep.
@@ -130,7 +133,7 @@ func AblationRecoveryBackend(rc RunConfig) ([]BackendRow, error) {
 		if err != nil {
 			return BackendRow{}, err
 		}
-		rep, err := miniRecovery(cfg, prof, rc.Seed)
+		rep, err := miniRecovery(cfg, prof, rc)
 		if err != nil {
 			return BackendRow{}, err
 		}
@@ -202,7 +205,7 @@ func AblationEndurance(rc RunConfig) ([]EnduranceRow, error) {
 		if err != nil {
 			return measured{}, err
 		}
-		res, err := sim.Run(ctrl, trace.NewGenerator(prof, rc.Seed), rc.Requests)
+		res, err := sim.Run(ctrl, rc.source(prof), rc.Requests)
 		if err != nil {
 			return measured{}, err
 		}
@@ -282,7 +285,7 @@ func AblationTriad(rc RunConfig) ([]TriadRow, error) {
 		if err != nil {
 			return TriadRow{}, err
 		}
-		rep, err := miniRecovery(cfg, prof, rc.Seed)
+		rep, err := miniRecovery(cfg, prof, rc)
 		if err != nil {
 			return TriadRow{}, err
 		}

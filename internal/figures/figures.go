@@ -42,6 +42,15 @@ type RunConfig struct {
 	Parallel int
 	// Ctx, when non-nil, cancels in-flight sweeps between cells.
 	Ctx context.Context
+	// Arenas, when non-nil, interns each (profile, seed) request stream
+	// into an immutable arena shared read-only across every simulation
+	// cell (and across workers), instead of re-running the trace
+	// generator per cell. Streams are deterministic per (profile, seed),
+	// so outputs are byte-identical either way — see DESIGN.md §9.
+	// RunConfig is copied by value inside sweeps (e.g. Figure 13's
+	// per-size configs), which is why this is a pointer: every copy
+	// shares the same cache.
+	Arenas *trace.ArenaCache
 }
 
 // pool returns the worker pool every figure sweep fans out on.
@@ -56,6 +65,7 @@ func DefaultRunConfig() RunConfig {
 		MemoryBytes: 256 << 20,
 		Requests:    40000,
 		Seed:        99,
+		Arenas:      trace.NewArenaCache(),
 	}
 }
 
@@ -97,16 +107,33 @@ func (rc RunConfig) config(s memctrl.Scheme) memctrl.Config {
 	return cfg
 }
 
+// source returns the request stream for one simulation cell: a cursor
+// into the shared immutable arena when arenas are enabled, otherwise a
+// fresh per-cell generator. Both produce byte-identical streams.
+func (rc RunConfig) source(p trace.Profile) trace.Source {
+	return rc.sourceN(p, rc.Requests)
+}
+
+// sourceN is source for a cell that consumes n requests (recovery
+// trials consume more than rc.Requests; the arena must cover them).
+func (rc RunConfig) sourceN(p trace.Profile, n int) trace.Source {
+	if rc.Arenas != nil {
+		return rc.Arenas.Get(p, rc.Seed, n).Source()
+	}
+	return trace.NewGenerator(p, rc.Seed)
+}
+
 // run executes one simulation cell. Each cell constructs its own
-// controller and its own seeded trace source, so cells are fully
-// independent — the property that lets the worker pool run them
-// concurrently with bit-identical results.
+// controller and gets an independent read cursor into the shared
+// per-(profile, seed) arena (or its own generator when arenas are
+// disabled), so cells are fully independent — the property that lets
+// the worker pool run them concurrently with bit-identical results.
 func (rc RunConfig) run(f sim.Family, s memctrl.Scheme, p trace.Profile) (sim.Result, error) {
 	ctrl, err := sim.NewController(f, rc.config(s))
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.Run(ctrl, trace.NewGenerator(p, rc.Seed), rc.Requests)
+	return sim.Run(ctrl, rc.source(p), rc.Requests)
 }
 
 // NumApps reports how many application profiles the configuration runs
@@ -359,7 +386,7 @@ func MeasuredRecovery(scheme memctrl.Scheme, family sim.Family, rc RunConfig) (*
 		return nil, err
 	}
 	prof := rc.profiles()[0]
-	if _, err := sim.Run(ctrl, trace.NewGenerator(prof, rc.Seed), rc.Requests); err != nil {
+	if _, err := sim.Run(ctrl, rc.source(prof), rc.Requests); err != nil {
 		return nil, err
 	}
 	ctrl.Crash()

@@ -1,0 +1,205 @@
+package figures
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"anubis/internal/memctrl"
+	"anubis/internal/sim"
+)
+
+// sweepQuick is a small but non-trivial sweep configuration: enough
+// warm-up to dirty the caches and shadow tables, several crash points,
+// and a parallel pool so the fork path's concurrency is exercised.
+func sweepQuick(scheme memctrl.Scheme, family sim.Family, cold bool) RecoverySweepConfig {
+	rc := QuickRunConfig()
+	rc.MemoryBytes = 32 << 20
+	rc.Requests = 2500
+	rc.Parallel = 4
+	return RecoverySweepConfig{
+		Run:           rc,
+		Scheme:        scheme,
+		Family:        family,
+		App:           "libquantum",
+		Trials:        6,
+		ExtraPerTrial: 150,
+		ColdStart:     cold,
+	}
+}
+
+// TestRecoverySweepForkEqualsCold is the harness-level golden
+// equivalence check promised in the RecoverySweep doc comment: every
+// trial of a forked-from-warm sweep — measurement-window results,
+// recovery reports, and merged latency histograms — must be identical
+// to the cold-start sweep that re-fills a fresh controller per trial.
+func TestRecoverySweepForkEqualsCold(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scheme memctrl.Scheme
+		family sim.Family
+	}{
+		{"agit-plus", memctrl.SchemeAGITPlus, sim.FamilyBonsai},
+		{"asit", memctrl.SchemeASIT, sim.FamilySGX},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			forked, err := RecoverySweep(sweepQuick(tc.scheme, tc.family, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := RecoverySweep(sweepQuick(tc.scheme, tc.family, true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(forked.Trials) != len(cold.Trials) {
+				t.Fatalf("trial counts differ: %d vs %d", len(forked.Trials), len(cold.Trials))
+			}
+			for i := range forked.Trials {
+				if !reflect.DeepEqual(forked.Trials[i], cold.Trials[i]) {
+					t.Errorf("trial %d diverged\nforked: %+v\ncold:   %+v",
+						i, forked.Trials[i], cold.Trials[i])
+				}
+			}
+			if !reflect.DeepEqual(forked.ReadLat, cold.ReadLat) {
+				t.Error("merged read-latency histograms diverged")
+			}
+			if !reflect.DeepEqual(forked.WriteLat, cold.WriteLat) {
+				t.Error("merged write-latency histograms diverged")
+			}
+		})
+	}
+}
+
+// TestRecoverySweepDeterministicAcrossWorkers pins the sweep output to
+// the worker count: 1 worker (sequential) and many workers must agree.
+func TestRecoverySweepDeterministicAcrossWorkers(t *testing.T) {
+	base := sweepQuick(memctrl.SchemeAGITPlus, sim.FamilyBonsai, false)
+	base.Run.Parallel = 1
+	seq, err := RecoverySweep(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := sweepQuick(memctrl.SchemeAGITPlus, sim.FamilyBonsai, false)
+	par.Run.Parallel = 8
+	got, err := RecoverySweep(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, got) {
+		t.Fatal("sweep output depends on worker count")
+	}
+}
+
+// TestRecoverySweepShape sanity-checks aggregation: trials carry
+// growing crash windows, recovery times are positive, and the
+// percentile/mean helpers stay within [min, max].
+func TestRecoverySweepShape(t *testing.T) {
+	res, err := RecoverySweep(sweepQuick(memctrl.SchemeASIT, sim.FamilySGX, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Trials {
+		if want := (i + 1) * 150; tr.Extra != want {
+			t.Fatalf("trial %d extra = %d, want %d", i, tr.Extra, want)
+		}
+		if tr.Report.ModeledNS() == 0 {
+			t.Fatalf("trial %d modeled recovery time is zero", i)
+		}
+	}
+	min, mean, max := res.ModeledRecoveryNS()
+	if min == 0 || min > mean || mean > max {
+		t.Fatalf("min/mean/max not ordered: %d/%d/%d", min, mean, max)
+	}
+	if p95 := res.RecoveryPercentileNS(95); p95 < min || p95 > max {
+		t.Fatalf("p95 %d outside [min=%d, max=%d]", p95, min, max)
+	}
+	if res.ReadLat.Count == 0 || res.WriteLat.Count == 0 {
+		t.Fatal("merged histograms are empty")
+	}
+}
+
+// TestPrintRecoverySweepRuns smoke-tests the CLI-facing renderer.
+func TestPrintRecoverySweepRuns(t *testing.T) {
+	rc := QuickRunConfig()
+	rc.MemoryBytes = 32 << 20
+	rc.Requests = 1500
+	rc.Apps = []string{"libquantum"}
+	var buf bytes.Buffer
+	if err := PrintRecoverySweep(&buf, rc, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"agit-plus", "asit", "Recovery-time distribution"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// benchSweep is the fork-vs-cold A/B shape at benchmark scale: a long
+// warm fill with crash points scattered over a short post-warm window,
+// run sequentially so the ratio reflects pure work, not pool effects.
+func benchSweep(b *testing.B, cold bool) {
+	rc := QuickRunConfig()
+	rc.MemoryBytes = 32 << 20
+	rc.Requests = 20000
+	rc.Parallel = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := RecoverySweep(RecoverySweepConfig{
+			Run:           rc,
+			Scheme:        memctrl.SchemeAGITPlus,
+			Family:        sim.FamilyBonsai,
+			App:           "libquantum",
+			Trials:        20,
+			ExtraPerTrial: 40,
+			ColdStart:     cold,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoverySweepForked measures the one-fill-N-forks sweep.
+func BenchmarkRecoverySweepForked(b *testing.B) { benchSweep(b, false) }
+
+// BenchmarkRecoverySweepCold measures the per-trial re-fill baseline.
+func BenchmarkRecoverySweepCold(b *testing.B) { benchSweep(b, true) }
+
+// TestFigureSweepArenaByteIdentity asserts the satellite contract that
+// interning traces into shared arenas does not change a single output
+// bit: Figure 7 and Figure 10 rows computed with Arenas enabled match
+// the generator-per-cell path exactly at the default seed.
+func TestFigureSweepArenaByteIdentity(t *testing.T) {
+	with := QuickRunConfig() // Arenas enabled by default
+	without := QuickRunConfig()
+	without.Arenas = nil
+
+	r7a, err := Fig7(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r7b, err := Fig7(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r7a, r7b) {
+		t.Fatal("Fig7 rows differ between arena and generator paths")
+	}
+
+	r10a, avgA, err := Fig10(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10b, avgB, err := Fig10(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r10a, r10b) {
+		t.Fatal("Fig10 rows differ between arena and generator paths")
+	}
+	if !reflect.DeepEqual(avgA, avgB) {
+		t.Fatal("Fig10 averages differ between arena and generator paths")
+	}
+}

@@ -313,4 +313,11 @@ type Controller interface {
 	Device() *nvm.Device
 	// Scheme returns the configured scheme.
 	Scheme() Scheme
+	// Clone forks the controller: the child shares the parent's NVM
+	// image copy-on-write and value-clones all volatile state (caches,
+	// shadow mirrors, wear state, clocks, stats), so it behaves
+	// byte-for-byte like a controller that lived through the parent's
+	// entire history. Crash/recovery sweeps fork one warm controller
+	// per trial instead of re-filling each trial from cold.
+	Clone() Controller
 }

@@ -40,9 +40,18 @@ type equivGolden struct {
 // evictions, shadow-table churn, stop-loss persists and WPQ pressure.
 func equivWorkload(t *testing.T, ctrl Controller) {
 	t.Helper()
+	equivWorkloadRange(t, ctrl, 0, 4000)
+}
+
+// equivWorkloadRange drives requests [lo, hi) of the deterministic mix.
+// Requests depend only on the absolute index i, so splitting the range
+// across two controllers (warm parent + forked child) replays the exact
+// byte stream a single straight-through run would see.
+func equivWorkloadRange(t *testing.T, ctrl Controller, lo, hi uint64) {
+	t.Helper()
 	n := ctrl.NumBlocks()
 	var data [BlockBytes]byte
-	for i := uint64(0); i < 4000; i++ {
+	for i := lo; i < hi; i++ {
 		addr := (i * 2654435761) % n
 		if i%3 == 2 {
 			if _, err := ctrl.ReadBlock((i * 40503) % n); err != nil {

@@ -71,6 +71,15 @@ func (w *wearLeveler) recordWrite(now uint64) uint64 {
 	return now
 }
 
+// clone duplicates the leveler for a forked controller, rebinding it to
+// the forked device. Nil-safe (leveling disabled clones to disabled).
+func (w *wearLeveler) clone(dev *nvm.Device) *wearLeveler {
+	if w == nil {
+		return nil
+	}
+	return &wearLeveler{sg: w.sg.Clone(), dev: dev}
+}
+
 // reloadWearLeveler restores the mapping from the persistent register
 // after a crash. It returns nil when leveling is disabled.
 func reloadWearLeveler(dev *nvm.Device, period int) (*wearLeveler, error) {

@@ -424,6 +424,9 @@ func (d *Device) Erase(r Region, idx uint64) {
 // media fault. It reports whether the block existed.
 func (d *Device) CorruptBlock(r Region, idx uint64, byteIdx int, mask byte) bool {
 	s := &d.store[r]
+	// Probe read-only first so corrupting an absent block allocates
+	// nothing; then mutate through slot(), which performs the
+	// copy-on-write duplication if the page is frozen/shared.
 	p := s.pageAt(idx)
 	if p == nil {
 		return false
@@ -432,6 +435,7 @@ func (d *Device) CorruptBlock(r Region, idx uint64, byteIdx int, mask byte) bool
 	if p.present[o>>6]&(1<<(o&63)) == 0 {
 		return false
 	}
+	p, o = s.slot(idx)
 	p.data[o][byteIdx] ^= mask
 	return true
 }
@@ -573,6 +577,52 @@ func (d *Device) GetReg64(name string) (uint64, bool) {
 		v |= uint64(b[i]) << uint(8*i)
 	}
 	return v, true
+}
+
+// --- snapshot / fork --------------------------------------------------------
+
+// Snapshot freezes the device's stored image copy-on-write: every
+// currently allocated page in every region becomes immutable in place,
+// and the next write to any of them first duplicates that 16-block
+// page. O(regions) — no page data is touched. Snapshot is implied by
+// Fork; calling it directly is only useful to bound when a long-lived
+// reference (e.g. an image Save in another goroutine) stops observing
+// new writes... which this simulator does not do, so Fork is the
+// expected entry point.
+func (d *Device) Snapshot() {
+	for r := range d.store {
+		d.store[r].freeze()
+	}
+}
+
+// Fork snapshots the device and returns an independent child sharing
+// the frozen stored image copy-on-write. Everything else — timing
+// clocks, bank/port/WPQ occupancy, stats, the staged commit group,
+// DONE_BIT, and the persistent register file — is value-cloned, so the
+// child behaves byte-for-byte like a device that lived through the
+// parent's entire history. The eager cost is the per-region page
+// directories (noscan int32 slices + page-pointer slices); page
+// payloads are copied only as either side writes to them. Parent and
+// child may both be forked again, any number of times.
+func (d *Device) Fork() *Device {
+	n := &Device{
+		timing:     d.timing,
+		bankFree:   append([]uint64(nil), d.bankFree...),
+		ports:      d.ports.clone(),
+		wpq:        d.wpq.clone(),
+		stats:      d.stats,
+		staged:     append([]PendingWrite(nil), d.staged...),
+		doneBit:    d.doneBit,
+		pushBudget: d.pushBudget,
+		regs:       make(map[string][BlockBytes]byte, len(d.regs)),
+	}
+	for r := range d.store {
+		n.store[r] = d.store[r].fork()
+	}
+	for k, v := range d.regs {
+		n.regs[k] = v
+	}
+	return n
 }
 
 // --- crash ------------------------------------------------------------------

@@ -1,0 +1,66 @@
+package nvm
+
+import "testing"
+
+// TestForkedDeviceSteadyStateZeroAllocs pins the COW fork contract
+// from the storage layer's side: after the one-time directory copy in
+// Fork and the first-write page copies, a forked device's read and
+// write paths are allocation-free — identical to a never-forked
+// device. A regression here (e.g. a page copy per write instead of per
+// first write, or an owner-tag miscompare) would silently turn every
+// forked crash trial into a heap churn loop.
+func TestForkedDeviceSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates on instrumented accesses; counts are not meaningful")
+	}
+	d := NewDevice(DefaultTiming())
+	const blocks = 4096
+	var blk [BlockBytes]byte
+	for i := uint64(0); i < blocks; i++ {
+		blk[0] = byte(i)
+		d.WriteRaw(RegionData, i, blk)
+	}
+
+	child := d.Fork()
+
+	// Settle the child's COW state: first write to each shared page
+	// copies it into the child; every later write hits the copy.
+	for i := uint64(0); i < blocks; i++ {
+		blk[0] = byte(i + 1)
+		child.WriteRaw(RegionData, i, blk)
+	}
+
+	writes := testing.AllocsPerRun(100, func() {
+		for i := uint64(0); i < 64; i++ {
+			child.WriteRaw(RegionData, i*61%blocks, blk)
+		}
+	})
+	if writes != 0 {
+		t.Errorf("forked device steady-state writes: %.2f allocs per 64-write batch, want 0", writes)
+	}
+
+	reads := testing.AllocsPerRun(100, func() {
+		for i := uint64(0); i < 64; i++ {
+			if _, ok := child.ReadPtr(RegionData, i*67%blocks); !ok {
+				t.Fatal("missing block")
+			}
+		}
+	})
+	if reads != 0 {
+		t.Errorf("forked device reads: %.2f allocs per 64-read batch, want 0", reads)
+	}
+
+	// Reads of pages still shared with the parent must not COW-copy:
+	// fork again and only read — zero allocations even on first touch.
+	child2 := d.Fork()
+	sharedReads := testing.AllocsPerRun(100, func() {
+		for i := uint64(0); i < 64; i++ {
+			if _, ok := child2.ReadPtr(RegionData, i*71%blocks); !ok {
+				t.Fatal("missing block")
+			}
+		}
+	})
+	if sharedReads != 0 {
+		t.Errorf("reads of parent-shared pages: %.2f allocs per 64-read batch, want 0 (reads must never trigger COW)", sharedReads)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // imageMagic guards against feeding arbitrary files to Load.
@@ -72,6 +73,92 @@ func (d *Device) Save(w io.Writer) error {
 		return fmt.Errorf("nvm: save image: %w", err)
 	}
 	return nil
+}
+
+// StateDigest returns a deterministic FNV-1a hash over the device's
+// persistent state — exactly the quantities Save serializes, but in a
+// canonical order. Save's own byte stream is NOT comparable across
+// runs (gob ranges over the flattened maps in randomized order), so
+// equivalence tests that want "byte-identical device image" semantics
+// compare digests instead. Two devices with equal digests hold
+// identical persistent images.
+func (d *Device) StateDigest() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	mix64 := func(v uint64) {
+		for i := uint(0); i < 64; i += 8 {
+			mix(byte(v >> i))
+		}
+	}
+	mixSide := func(s Sideband) {
+		for _, b := range s.ECC {
+			mix(b)
+		}
+		mix64(s.MAC)
+		mix(s.Phase)
+	}
+	mix64(d.timing.ReadNS)
+	mix64(d.timing.WriteNS)
+	for r := Region(0); r < numRegions; r++ {
+		mix64(uint64(r))
+		// forEachPage visits pages in ascending page-index order, and
+		// block order within a page is fixed, so this walk is canonical.
+		d.store[r].forEachPage(func(base uint64, p *page) {
+			for o := 0; o < pageBlocks; o++ {
+				present := p.present[o>>6]&(1<<(uint(o)&63)) != 0
+				if !present && p.wear[o] == 0 {
+					continue
+				}
+				mix64(base + uint64(o))
+				mix64(p.wear[o])
+				if !present {
+					continue
+				}
+				mix(1)
+				for _, b := range p.data[o] {
+					mix(b)
+				}
+				if r == RegionData && p.side != nil {
+					mixSide(p.side[o])
+				}
+			}
+		})
+	}
+	names := make([]string, 0, len(d.regs))
+	for k := range d.regs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		for i := 0; i < len(k); i++ {
+			mix(k[i])
+		}
+		blk := d.regs[k]
+		for _, b := range blk {
+			mix(b)
+		}
+	}
+	for i := range d.staged {
+		w := &d.staged[i]
+		mix64(uint64(w.Region))
+		mix64(w.Index)
+		for _, b := range w.Block {
+			mix(b)
+		}
+		if w.HasSide {
+			mixSide(w.Side)
+		}
+		for i := 0; i < len(w.RegName); i++ {
+			mix(w.RegName[i])
+		}
+	}
+	if d.doneBit {
+		mix(1)
+	}
+	return h
 }
 
 // LoadDevice restores a Device from an image produced by Save. The

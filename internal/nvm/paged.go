@@ -1,6 +1,9 @@
 package nvm
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Paged sparse storage.
 //
@@ -51,12 +54,29 @@ const (
 
 // page is the unit of sparse allocation: presence bitmap, wear
 // counters, block data, and (data region only) the DIMM sideband.
+//
+// owner is the copy-on-write tag: the ID of the pagedStore that is
+// allowed to mutate this page in place. A page whose owner differs
+// from its store's owner is frozen (shared with a snapshot or with
+// forked children) and must be copied before the first write — see
+// pagedStore.slot, the single chokepoint every mutation resolves
+// through.
 type page struct {
 	present [presentWords]uint64
 	wear    [pageBlocks]uint64
 	data    [pageBlocks][BlockBytes]byte
 	side    *[pageBlocks]Sideband // allocated on first sideband write
+	owner   int64                 // COW epoch tag (see storeIDs)
 }
+
+// storeIDs issues globally unique pagedStore owner IDs. The zero value
+// is reserved: a never-forked store and its pages both carry owner 0,
+// so the in-place fast path works without ever minting an ID. IDs are
+// minted atomically because forked devices may be exercised from
+// parallel sweep workers; all other store state is still single-owner.
+var storeIDs atomic.Int64
+
+func nextStoreID() int64 { return storeIDs.Add(1) }
 
 // zeroBlock is what pointer-returning reads of never-written (or
 // erased) blocks resolve to. Callers treat returned block pointers as
@@ -69,6 +89,7 @@ type pagedStore struct {
 	pages []*page          // handle h -> pages[h-1]
 	over  map[uint64]*page // pages at index >= maxDirPages
 	count int              // blocks with the presence bit set
+	owner int64            // COW epoch: pages with page.owner==owner are writable in place
 }
 
 // reserve pre-sizes the directory to hold pages [0, n), clamped to the
@@ -101,7 +122,12 @@ func (s *pagedStore) pageAt(idx uint64) *page {
 }
 
 // slot returns the (page, offset) cell for idx, allocating the page —
-// and growing the directory — on first touch.
+// and growing the directory — on first touch. It is the single
+// chokepoint every mutation resolves through, which makes it the COW
+// hook: a resolved page whose owner tag differs from the store's is
+// frozen (shared with a snapshot or a forked sibling) and is replaced
+// by a private copy before the caller sees it. Reads (pageAt/blockPtr)
+// never trigger a copy.
 func (s *pagedStore) slot(idx uint64) (*page, uint64) {
 	pi := idx >> pageShift
 	if pi < maxDirPages {
@@ -120,21 +146,74 @@ func (s *pagedStore) slot(idx uint64) (*page, uint64) {
 		}
 		h := s.dir[pi]
 		if h == 0 {
-			s.pages = append(s.pages, &page{})
+			s.pages = append(s.pages, &page{owner: s.owner})
 			h = int32(len(s.pages))
 			s.dir[pi] = h
 		}
-		return s.pages[h-1], idx & pageMask
+		p := s.pages[h-1]
+		if p.owner != s.owner {
+			p = s.copyPage(p)
+			s.pages[h-1] = p
+		}
+		return p, idx & pageMask
 	}
 	if s.over == nil {
 		s.over = make(map[uint64]*page)
 	}
 	p := s.over[pi]
 	if p == nil {
-		p = &page{}
+		p = &page{owner: s.owner}
+		s.over[pi] = p
+	} else if p.owner != s.owner {
+		p = s.copyPage(p)
 		s.over[pi] = p
 	}
 	return p, idx & pageMask
+}
+
+// copyPage makes a private, writable duplicate of a frozen page. The
+// sideband array — reached through a pointer — is duplicated too:
+// sharing it would let a child's sideband write reach the parent.
+func (s *pagedStore) copyPage(p *page) *page {
+	np := new(page)
+	*np = *p
+	if p.side != nil {
+		np.side = new([pageBlocks]Sideband)
+		*np.side = *p.side
+	}
+	np.owner = s.owner
+	return np
+}
+
+// freeze marks every currently allocated page immutable-in-place by
+// moving the store to a fresh owner epoch. O(1): pages keep their old
+// tags and are copied lazily by slot() on first subsequent write.
+func (s *pagedStore) freeze() {
+	s.owner = nextStoreID()
+}
+
+// fork freezes the store and returns a child that shares every frozen
+// page. Only the directory structures are copied eagerly (the int32
+// handle directory, the noscan page-pointer slice, and the overflow
+// map header); page payloads are shared until first write, when slot()
+// duplicates the touched 16-block page on whichever side writes first.
+// Parent and child are fully independent afterwards and each may be
+// forked again.
+func (s *pagedStore) fork() pagedStore {
+	s.freeze()
+	child := pagedStore{
+		dir:   append([]int32(nil), s.dir...),
+		pages: append([]*page(nil), s.pages...),
+		count: s.count,
+		owner: nextStoreID(),
+	}
+	if len(s.over) > 0 {
+		child.over = make(map[uint64]*page, len(s.over))
+		for pi, p := range s.over {
+			child.over[pi] = p
+		}
+	}
+	return child
 }
 
 // blockPtr returns a pointer to idx's stored content and whether the
@@ -336,4 +415,29 @@ func (c *Counters) Reset() {
 	}
 	c.pages = c.pages[:0]
 	c.over = nil
+}
+
+// Clone returns an exact, fully independent deep copy. Counter pages
+// are small (64 B) and mutated on nearly every write request, so a COW
+// scheme would copy almost everything almost immediately; an eager
+// value clone is simpler and no slower.
+func (c *Counters) Clone() Counters {
+	n := Counters{
+		dir:   append([]int32(nil), c.dir...),
+		pages: make([]*counterPage, len(c.pages)),
+	}
+	for i, p := range c.pages {
+		np := new(counterPage)
+		*np = *p
+		n.pages[i] = np
+	}
+	if len(c.over) > 0 {
+		n.over = make(map[uint64]*counterPage, len(c.over))
+		for pi, p := range c.over {
+			np := new(counterPage)
+			*np = *p
+			n.over[pi] = np
+		}
+	}
+	return n
 }

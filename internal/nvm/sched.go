@@ -83,6 +83,11 @@ func (q *wpqRing) reset() {
 	q.head, q.size = 0, 0
 }
 
+// clone returns an independent copy with identical contents and order.
+func (q *wpqRing) clone() wpqRing {
+	return wpqRing{buf: append([]uint64(nil), q.buf...), head: q.head, size: q.size}
+}
+
 // --- write-port earliest-free tracking ---------------------------------------
 
 // portHeap tracks the next-free time of each PCM write port as a
@@ -131,6 +136,15 @@ func (h *portHeap) occupyMin(done uint64) {
 		h.free[i], h.free[m] = h.free[m], h.free[i]
 		h.port[i], h.port[m] = h.port[m], h.port[i]
 		i = m
+	}
+}
+
+// clone returns an independent copy with identical heap layout, so a
+// forked device schedules exactly the same ports as its parent would.
+func (h *portHeap) clone() portHeap {
+	return portHeap{
+		free: append([]uint64(nil), h.free...),
+		port: append([]int(nil), h.port...),
 	}
 }
 

@@ -96,6 +96,12 @@ func (t *AddrTable) blockOf(slot int) (uint64, [BlockBytes]byte) {
 	return blockIdx, b
 }
 
+// Clone returns an independent copy of the mirror (used when a warm
+// controller is forked for crash/recovery trials).
+func (t *AddrTable) Clone() *AddrTable {
+	return &AddrTable{entries: append([]uint64(nil), t.entries...)}
+}
+
 // RestoreAddrTable rebuilds a mirror from NVM after a crash. read must
 // return block i of the table's region.
 func RestoreAddrTable(numSlots int, read func(blockIdx uint64) [BlockBytes]byte) *AddrTable {
@@ -230,6 +236,12 @@ func (t *STTable) Get(slot int) (STEntry, bool) {
 // Block returns the current NVM image of one table block (= slot).
 func (t *STTable) Block(slot int) [BlockBytes]byte {
 	return t.entries[slot].Pack()
+}
+
+// Clone returns an independent copy of the mirror (used when a warm
+// controller is forked for crash/recovery trials).
+func (t *STTable) Clone() *STTable {
+	return &STTable{entries: append([]STEntry(nil), t.entries...)}
 }
 
 // RestoreSTTable rebuilds the mirror from NVM after a crash.

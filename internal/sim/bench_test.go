@@ -63,6 +63,27 @@ func TestRunSteadyStateZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race runtime allocates on instrumented accesses; counts are not meaningful")
 	}
+	testSteadyStateZeroAllocs(t, func(ctrl memctrl.Controller) memctrl.Controller {
+		return ctrl
+	})
+}
+
+// TestForkedRunSteadyStateZeroAllocs repeats the steady-state pin on a
+// controller FORKED from the warm one: after Clone's one-time directory
+// copies and the COW page copies triggered by the child's first writes,
+// the forked request path must be exactly as allocation-free as the
+// original. This is the property that lets a recovery sweep fork one
+// warm parent into hundreds of trials without heap churn.
+func TestForkedRunSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates on instrumented accesses; counts are not meaningful")
+	}
+	testSteadyStateZeroAllocs(t, func(ctrl memctrl.Controller) memctrl.Controller {
+		return ctrl.Clone()
+	})
+}
+
+func testSteadyStateZeroAllocs(t *testing.T, derive func(memctrl.Controller) memctrl.Controller) {
 	for _, tc := range []struct {
 		name   string
 		scheme memctrl.Scheme
@@ -93,6 +114,13 @@ func TestRunSteadyStateZeroAllocs(t *testing.T) {
 				t.Fatal(err)
 			}
 			gen := trace.NewGenerator(p, 99)
+			if _, err := Run(ctrl, gen, 200000); err != nil {
+				t.Fatal(err)
+			}
+			// For the forked variant: derive the measured controller
+			// from the warm one, then settle its COW state with a
+			// second warm phase (first writes copy shared pages).
+			ctrl = derive(ctrl)
 			if _, err := Run(ctrl, gen, 200000); err != nil {
 				t.Fatal(err)
 			}

@@ -44,6 +44,21 @@ func leadingZeros(v uint64) int {
 	return 64 - n
 }
 
+// Merge folds another histogram into this one, as if every sample of
+// `other` had been Added to h directly: bucket-wise and counter-wise
+// addition, max of maxima. Forked crash/recovery trials record their
+// own per-trial histograms and merge them into the sweep aggregate.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+}
+
 // Mean returns the average latency.
 func (h *LatencyHist) Mean() float64 {
 	if h.Count == 0 {

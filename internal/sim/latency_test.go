@@ -54,6 +54,67 @@ func TestLatencyHistHugeValueClamped(t *testing.T) {
 	}
 }
 
+// TestLatencyHistMergeEqualsWholeStream is the Merge property test:
+// splitting one sample stream into arbitrary chunks, histogramming each
+// chunk separately, and merging the parts must reproduce the histogram
+// of the whole stream exactly — buckets, count, sum, and max.
+func TestLatencyHistMergeEqualsWholeStream(t *testing.T) {
+	// Deterministic xorshift stream with a wide dynamic range so many
+	// buckets (including bucket 0 and the clamped tail) are populated.
+	samples := make([]uint64, 10000)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range samples {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		samples[i] = x >> (x % 64) // spread across magnitudes, incl. 0
+	}
+
+	var whole LatencyHist
+	for _, s := range samples {
+		whole.Add(s)
+	}
+
+	for _, cuts := range [][]int{
+		{5000},                  // even split
+		{1, 9999},               // degenerate chunk
+		{0, 10000},              // empty chunks at both ends
+		{100, 2500, 2600, 9000}, // ragged multi-way split
+	} {
+		bounds := append(append([]int{0}, cuts...), len(samples))
+		var merged LatencyHist
+		for i := 0; i+1 < len(bounds); i++ {
+			var part LatencyHist
+			for _, s := range samples[bounds[i]:bounds[i+1]] {
+				part.Add(s)
+			}
+			merged.Merge(&part)
+		}
+		if merged != whole {
+			t.Fatalf("split %v: merged histogram differs from whole-stream histogram", cuts)
+		}
+	}
+}
+
+// TestLatencyHistMergeEmptyIdentity checks that merging an empty
+// histogram is a no-op in both directions.
+func TestLatencyHistMergeEmptyIdentity(t *testing.T) {
+	var h, empty LatencyHist
+	for _, v := range []uint64{3, 700, 12, 0, 1 << 40} {
+		h.Add(v)
+	}
+	want := h
+	h.Merge(&empty)
+	if h != want {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+	var acc LatencyHist
+	acc.Merge(&h)
+	if acc != want {
+		t.Fatal("merging into an empty histogram did not copy the source")
+	}
+}
+
 func TestRunPopulatesLatencies(t *testing.T) {
 	prof := profFor(t, "milc")
 	res := runFor(t, FamilyBonsai, prof, 2000)

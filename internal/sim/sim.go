@@ -21,6 +21,7 @@ import (
 type Result struct {
 	Workload string
 	Scheme   memctrl.Scheme
+	Family   Family
 	Requests int
 	ExecNS   uint64
 	Stats    memctrl.RunStats
@@ -42,10 +43,14 @@ func (r Result) Normalized(base Result) float64 {
 
 // CleanEvictionFrac returns the fraction of counter-cache evictions that
 // were clean (Figure 7). For the SGX family the combined metadata cache
-// is used.
+// (reported in Stats.TreeCache) is used. Selection is by family, not by
+// which cache happens to have evictions: the old fallback ("use the
+// tree cache whenever the counter cache has zero evictions") silently
+// reported Merkle-tree evictions for short Bonsai runs whose counter
+// working set still fit in the cache.
 func (r Result) CleanEvictionFrac() float64 {
 	cs := r.Stats.CounterCache
-	if cs.Evictions == 0 {
+	if r.Family == FamilySGX {
 		cs = r.Stats.TreeCache
 	}
 	if cs.Evictions == 0 {
@@ -68,7 +73,7 @@ func (r Result) WritesPerRequest() float64 {
 // profiles with larger footprints than the simulated memory still run
 // (with correspondingly reduced locality).
 func Run(ctrl memctrl.Controller, gen trace.Source, nReq int) (Result, error) {
-	res := Result{Workload: gen.Name(), Scheme: ctrl.Scheme(), Requests: nReq}
+	res := Result{Workload: gen.Name(), Scheme: ctrl.Scheme(), Family: FamilyOf(ctrl), Requests: nReq}
 	nBlocks := ctrl.NumBlocks()
 	// One scratch block for the whole run: fill overwrites all 64 bytes
 	// per write request, so re-zeroing a fresh array every iteration
@@ -127,6 +132,14 @@ func (f Family) String() string {
 		return "sgx"
 	}
 	return "bonsai"
+}
+
+// FamilyOf reports which controller family a controller belongs to.
+func FamilyOf(ctrl memctrl.Controller) Family {
+	if _, ok := ctrl.(*memctrl.SGX); ok {
+		return FamilySGX
+	}
+	return FamilyBonsai
 }
 
 // NewController builds a controller of the given family and config.

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Shared trace arenas.
+//
+// A figure sweep evaluates many (scheme, cache-size, …) cells against
+// the *same* request stream: streams are deterministic per (profile,
+// seed), so every cell used to pay for re-running the Generator's rng
+// chain from scratch. An Arena materializes the stream once into an
+// immutable request slice shared read-only across all cells — and
+// across goroutines of a parallel sweep — while Cursors give each cell
+// an independent, allocation-free read position. Crash/recovery trials
+// forked from a warm controller resume consumption mid-stream with
+// SourceAt, which is what makes a forked trial consume byte-identical
+// requests to a cold-started one.
+
+// Arena is an immutable, materialized request stream for one
+// (profile, seed) pair. Safe for concurrent use: nothing mutates it
+// after construction.
+type Arena struct {
+	profile Profile
+	seed    int64
+	reqs    []Request
+}
+
+// NewArena materializes the first n requests of the deterministic
+// stream for (p, seed). The result is identical to what n calls of
+// NewGenerator(p, seed).Next() would produce.
+func NewArena(p Profile, seed int64, n int) *Arena {
+	return &Arena{profile: p, seed: seed, reqs: NewGenerator(p, seed).Generate(n)}
+}
+
+// Len returns the number of materialized requests.
+func (a *Arena) Len() int { return len(a.reqs) }
+
+// Profile returns the generating profile.
+func (a *Arena) Profile() Profile { return a.profile }
+
+// Seed returns the generating seed.
+func (a *Arena) Seed() int64 { return a.seed }
+
+// Requests exposes the materialized stream. Callers must treat the
+// slice as read-only; it is shared across every cursor and goroutine.
+func (a *Arena) Requests() []Request { return a.reqs }
+
+// Source returns a fresh cursor at the start of the stream.
+func (a *Arena) Source() *Cursor { return a.SourceAt(0) }
+
+// SourceAt returns a cursor positioned at request pos — the resume
+// point for a trial forked from a controller that already consumed the
+// first pos requests.
+func (a *Arena) SourceAt(pos int) *Cursor {
+	if pos < 0 || pos > len(a.reqs) {
+		panic(fmt.Sprintf("trace: cursor position %d outside arena of %d requests", pos, len(a.reqs)))
+	}
+	return &Cursor{a: a, pos: pos}
+}
+
+// Cursor is an independent read position into an Arena, implementing
+// Source. Next is two loads and an increment: no rng, no allocation.
+// Each cursor belongs to one goroutine; distinct cursors over the same
+// arena may advance concurrently.
+type Cursor struct {
+	a   *Arena
+	pos int
+}
+
+// Name identifies the workload.
+func (c *Cursor) Name() string { return c.a.profile.Name }
+
+// Pos returns the number of requests consumed so far.
+func (c *Cursor) Pos() int { return c.pos }
+
+// Next returns the next materialized request. Running past the arena's
+// end is a harness sizing bug and panics rather than silently looping
+// or fabricating requests.
+func (c *Cursor) Next() Request {
+	if c.pos >= len(c.a.reqs) {
+		panic(fmt.Sprintf("trace: cursor exhausted arena %q (%d requests); size the arena to the sweep's maximum consumption", c.a.profile.Name, len(c.a.reqs)))
+	}
+	r := c.a.reqs[c.pos]
+	c.pos++
+	return r
+}
+
+// ArenaCache interns arenas by (profile, seed) so every cell of a
+// sweep — across goroutines — shares one materialization. Safe for
+// concurrent use.
+type ArenaCache struct {
+	mu sync.Mutex
+	m  map[arenaKey]*Arena
+}
+
+type arenaKey struct {
+	p    Profile
+	seed int64
+}
+
+// NewArenaCache returns an empty cache.
+func NewArenaCache() *ArenaCache {
+	return &ArenaCache{m: make(map[arenaKey]*Arena)}
+}
+
+// Get returns the arena for (p, seed) holding at least n requests,
+// materializing or enlarging it as needed. Enlarging replaces the
+// cached arena with a longer one regenerated from the seed — streams
+// are deterministic, so the longer arena's prefix is byte-identical to
+// the old one, and arenas already handed out stay valid (they are
+// immutable) while new callers see the longer version.
+func (c *ArenaCache) Get(p Profile, seed int64, n int) *Arena {
+	k := arenaKey{p: p, seed: seed}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.m[k]; ok && a.Len() >= n {
+		return a
+	}
+	a := NewArena(p, seed, n)
+	c.m[k] = a
+	return a
+}

@@ -109,6 +109,12 @@ func (sg *StartGap) Commit() {
 	sg.count = 0
 }
 
+// Clone returns an independent copy of the mapping state.
+func (sg *StartGap) Clone() *StartGap {
+	n := *sg
+	return &n
+}
+
 // Pack serializes the state to 32 bytes for an on-chip register.
 func (sg *StartGap) Pack() [32]byte {
 	var b [32]byte

@@ -1,0 +1,113 @@
+// Command bench_compare diffs two anubis-bench JSON reports (see
+// `make bench-json`), aligning figure entries by name and printing the
+// wall-time delta for each, plus the totals. It is a reporting tool:
+// by default it always exits 0, so CI can surface drift without gating
+// on noisy wall-clock numbers. Pass -max-regress to turn it into a
+// gate for controlled environments.
+//
+// Usage:
+//
+//	go run ./scripts/bench_compare results/BENCH_2.json results/BENCH_3.json
+//	go run ./scripts/bench_compare -max-regress 25 old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// figureTiming mirrors cmd/anubis-bench's report entry (decoded
+// structurally so the tool works on any report version carrying these
+// fields).
+type figureTiming struct {
+	Name    string             `json:"name"`
+	WallMS  float64            `json:"wall_ms"`
+	Cells   int                `json:"cells"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Timestamp   string         `json:"timestamp"`
+	GoVersion   string         `json:"go_version"`
+	Parallel    int            `json:"parallel"`
+	TotalWallMS float64        `json:"total_wall_ms"`
+	TotalCells  int            `json:"total_cells"`
+	Figures     []figureTiming `json:"figures"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0,
+		"fail (exit 1) if any shared figure regresses by more than this percent (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench_compare [-max-regress pct] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(1)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(1)
+	}
+
+	oldBy := make(map[string]figureTiming, len(oldRep.Figures))
+	for _, f := range oldRep.Figures {
+		oldBy[f.Name] = f
+	}
+
+	fmt.Printf("old: %s (%s, parallel=%d)\n", flag.Arg(0), oldRep.Timestamp, oldRep.Parallel)
+	fmt.Printf("new: %s (%s, parallel=%d)\n\n", flag.Arg(1), newRep.Timestamp, newRep.Parallel)
+	fmt.Printf("  %-28s %12s %12s %9s\n", "figure", "old ms", "new ms", "delta")
+
+	worst := 0.0
+	shared := 0
+	for _, nf := range newRep.Figures {
+		of, ok := oldBy[nf.Name]
+		if !ok {
+			fmt.Printf("  %-28s %12s %12.1f      new\n", nf.Name, "-", nf.WallMS)
+			continue
+		}
+		delete(oldBy, nf.Name)
+		shared++
+		delta := 0.0
+		if of.WallMS > 0 {
+			delta = (nf.WallMS - of.WallMS) / of.WallMS * 100
+		}
+		if delta > worst {
+			worst = delta
+		}
+		fmt.Printf("  %-28s %12.1f %12.1f %+8.1f%%\n", nf.Name, of.WallMS, nf.WallMS, delta)
+	}
+	for name, of := range oldBy {
+		fmt.Printf("  %-28s %12.1f %12s  removed\n", name, of.WallMS, "-")
+	}
+
+	fmt.Printf("\n  %-28s %12.1f %12.1f\n", "total", oldRep.TotalWallMS, newRep.TotalWallMS)
+	if shared == 0 {
+		fmt.Println("no shared figures; nothing to compare")
+		return
+	}
+	if *maxRegress > 0 && worst > *maxRegress {
+		fmt.Fprintf(os.Stderr, "bench_compare: worst regression %.1f%% exceeds -max-regress %.1f%%\n",
+			worst, *maxRegress)
+		os.Exit(1)
+	}
+}
