@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-smoke bench-device bench-json bench-tools fmt clean
+.PHONY: all build vet test race verify bench bench-smoke bench-device bench-json bench-tools fuzz-tools fuzz-smoke fuzz fmt clean
 
 all: verify
 
@@ -18,9 +18,9 @@ race:
 
 # Tier-1 gate: everything compiles, vets clean, and the full suite
 # passes both plainly (where the zero-alloc assertions run) and under
-# the race detector (where they are skipped). bench-tools is a
-# build-only smoke for the benchmark tooling — no wall-clock gate.
-verify: build vet test race bench-tools
+# the race detector (where they are skipped). bench-tools/fuzz-tools
+# are build-only smokes for the tooling — no wall-clock gate.
+verify: build vet test race bench-tools fuzz-tools
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -51,6 +51,23 @@ bench-json:
 bench-tools:
 	$(GO) build -o /dev/null ./cmd/anubis-bench
 	$(GO) build -o /dev/null ./scripts/bench_compare
+
+# Build-only smoke: the crash-injection fuzzer CLI keeps compiling.
+fuzz-tools:
+	$(GO) build -o /dev/null ./cmd/anubis-fuzz
+
+# Short native-fuzz run: each crashfuzz target gets 10 s of coverage-
+# guided mutation on top of its seed corpus. Failures are shrunk by
+# re-running the printed token through `anubis-fuzz -replay` (see
+# EXPERIMENTS.md "Crash-injection fuzzing").
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz 'FuzzTrial$$' -fuzztime 10s ./internal/crashfuzz/
+	$(GO) test -run xxx -fuzz 'FuzzParseSchedule$$' -fuzztime 10s ./internal/crashfuzz/
+
+# Long differential fuzz: 500 seeded random schedules across every
+# scheme × crash model combination (the PR acceptance run).
+fuzz:
+	$(GO) run ./cmd/anubis-fuzz -trials 500 -seed 99
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,143 @@
+// Command anubis-fuzz drives the differential crash-injection fuzzer
+// (internal/crashfuzz) outside the go-test harness: seeded random
+// schedules across workload profiles, controller schemes, crash points,
+// relaxed-persistence crash models, and post-crash media faults.
+//
+// A failing schedule is auto-shrunk to a minimal repro and printed as a
+// single-line replay token; re-run it with:
+//
+//	anubis-fuzz -replay 'v1 profile=… combo=… model=… …'
+//
+// Exit status is non-zero iff a violation was found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"anubis/internal/crashfuzz"
+	"anubis/internal/nvm"
+)
+
+func main() {
+	var (
+		trials  = flag.Int("trials", 500, "number of random schedules to execute")
+		seed    = flag.Int64("seed", 99, "master seed: schedule stream and trace seed")
+		scheme  = flag.String("scheme", "all", "restrict to one combo (e.g. bonsai/agit-plus, sgx/asit) or 'all'")
+		model   = flag.String("model", "all", "restrict to one crash model (full-adr, partial-drain, torn-block) or 'all'")
+		replay  = flag.String("replay", "", "replay a single schedule token (skips random generation)")
+		verbose = flag.Bool("v", false, "print every schedule as it runs")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: anubis-fuzz [-trials N] [-seed S] [-scheme combo] [-model m] [-replay token]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\ncombos: %s\nmodels: %s\n",
+			comboNames(), modelNames())
+	}
+	flag.Parse()
+
+	r := crashfuzz.NewRunner()
+
+	if *replay != "" {
+		s, err := crashfuzz.ParseSchedule(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("replaying: %s\n", s)
+		if v := r.RunTrial(s); v != nil {
+			report(r, v, false) // already minimal by convention; don't re-shrink a replay
+			os.Exit(1)
+		}
+		fmt.Println("PASS: no violation")
+		return
+	}
+
+	var comboFilter *crashfuzz.Combo
+	if *scheme != "all" {
+		c, ok := crashfuzz.ComboByName(*scheme)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown combo %q (want one of: %s)\n", *scheme, comboNames())
+			os.Exit(2)
+		}
+		comboFilter = &c
+	}
+	var modelFilter *nvm.CrashModel
+	if *model != "all" {
+		m, ok := nvm.ParseCrashModel(*model)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown crash model %q (want one of: %s)\n", *model, modelNames())
+			os.Exit(2)
+		}
+		modelFilter = &m
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	violations := 0
+	for i := 0; i < *trials; i++ {
+		s := crashfuzz.RandomSchedule(rng, *seed)
+		if comboFilter != nil {
+			s.Combo = *comboFilter
+		}
+		if modelFilter != nil {
+			s.Model = *modelFilter
+		}
+		if *verbose {
+			fmt.Printf("trial %4d: %s\n", i, s)
+		}
+		if v := r.RunTrial(s); v != nil {
+			violations++
+			fmt.Printf("\ntrial %d FAILED\n", i)
+			report(r, v, true)
+			break // first violation ends the run: fix, then re-fuzz
+		}
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: %d trials, 0 violations, 0 panics (seed %d, scheme %s, model %s)\n",
+		*trials, *seed, *scheme, *model)
+}
+
+// report prints a violation and, when asked, shrinks it to the minimal
+// reproducing schedule first.
+func report(r *crashfuzz.Runner, v *crashfuzz.Violation, shrink bool) {
+	fmt.Printf("%v\n", v)
+	if !shrink {
+		return
+	}
+	min, mv := r.Shrink(v.Schedule)
+	if mv == nil {
+		fmt.Println("(shrink: failure did not reproduce; original schedule above)")
+		return
+	}
+	fmt.Printf("\nshrunk to minimal repro (%s phase: %s)\n", mv.Phase, firstLine(mv.Msg))
+	fmt.Printf("replay with:\n  anubis-fuzz -replay '%s'\n", min)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func comboNames() string {
+	names := make([]string, 0, len(crashfuzz.Combos()))
+	for _, c := range crashfuzz.Combos() {
+		names = append(names, c.String())
+	}
+	return strings.Join(names, " ")
+}
+
+func modelNames() string {
+	names := make([]string, 0, 3)
+	for _, m := range nvm.CrashModels() {
+		names = append(names, m.String())
+	}
+	return strings.Join(names, " ")
+}

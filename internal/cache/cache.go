@@ -226,6 +226,25 @@ func (c *Cache) Insert(key uint64, data [BlockBytes]byte) (*Line, *Victim) {
 	return target, victim
 }
 
+// CanInsertAtSlot reports whether InsertAtSlot(slot, key, …) would be
+// legal: slot in range and inside key's set, key not already resident,
+// slot free. Recovery code validates untrusted (crash-corrupted)
+// shadow-table placements with this before calling InsertAtSlot, whose
+// panics are a programming-error contract that must not be reachable
+// from a corrupt NVM image.
+func (c *Cache) CanInsertAtSlot(slot int, key uint64) bool {
+	if slot < 0 || slot >= len(c.lines) {
+		return false
+	}
+	if c.setOf(key) != slot/c.ways {
+		return false
+	}
+	if _, ok := c.Peek(key); ok {
+		return false
+	}
+	return !c.lines[slot].Valid
+}
+
 // InsertAtSlot places a block into a specific (free) slot. Recovery
 // uses it to reinstall blocks in exactly the slots the shadow table
 // mirrors; a block inserted elsewhere would desynchronize future shadow

@@ -1,0 +1,263 @@
+package crashfuzz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"anubis/internal/memctrl"
+	"anubis/internal/nvm"
+	"anubis/internal/sim"
+)
+
+func TestReplayTokenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		s := RandomSchedule(rng, 99)
+		got, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", s, got)
+		}
+	}
+	if _, err := ParseSchedule("v0 nope"); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := ParseSchedule("v1 combo=bogus/zap extra=1 profile=mcf"); err == nil {
+		t.Fatal("bad combo accepted")
+	}
+}
+
+func TestPolicyTable(t *testing.T) {
+	want := map[string]Policy{
+		"bonsai/writeback": MustNotRecover,
+		"sgx/writeback":    MustNotRecover,
+		"sgx/osiris":       MustNotRecover,
+		"bonsai/osiris":    MayRecover,
+		"bonsai/strict":    MustRecover,
+		"sgx/strict":       MustRecover,
+		"bonsai/agit-read": MustRecover,
+		"bonsai/agit-plus": MustRecover,
+		"sgx/asit":         MustRecover,
+		"bonsai/triad":     MayRecover,
+		"bonsai/selective": MayRecover,
+	}
+	for _, c := range Combos() {
+		if got := PolicyOf(c); got != want[c.String()] {
+			t.Fatalf("PolicyOf(%s) = %v, want %v", c, got, want[c.String()])
+		}
+	}
+}
+
+// TestTrialMatrixSmoke runs every combo × crash model × mid-commit
+// setting once: the oracle must report zero violations on the real
+// (unbroken) controllers.
+func TestTrialMatrixSmoke(t *testing.T) {
+	r := NewRunner()
+	cseed := int64(1)
+	for _, combo := range Combos() {
+		for _, model := range nvm.CrashModels() {
+			for _, mid := range []int{-1, 2} {
+				s := Schedule{
+					Profile: "libquantum", Combo: combo, Model: model,
+					Warm: 64, Extra: 12, MidCommit: mid, Faults: 0,
+					TraceSeed: 99, CrashSeed: cseed,
+				}
+				cseed++
+				if v := r.RunTrial(s); v != nil {
+					t.Fatalf("%v", v)
+				}
+			}
+		}
+	}
+}
+
+// TestTrialWithFaultsSmoke injects media faults on top of each crash
+// model: recovery must degrade to typed errors, never violations.
+func TestTrialWithFaultsSmoke(t *testing.T) {
+	r := NewRunner()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 60; i++ {
+		s := RandomSchedule(rng, 99)
+		s.Faults = 1 + rng.Intn(3)
+		if v := r.RunTrial(s); v != nil {
+			t.Fatalf("%v", v)
+		}
+	}
+}
+
+func TestTrialDeterminism(t *testing.T) {
+	s := Schedule{
+		Profile: "mcf", Combo: Combo{sim.FamilyBonsai, memctrl.SchemeAGITPlus},
+		Model: nvm.CrashTornBlock, Warm: 64, Extra: 20, MidCommit: 3, Faults: 2,
+		TraceSeed: 99, CrashSeed: 12345,
+	}
+	a := NewRunner().RunTrial(s)
+	b := NewRunner().RunTrial(s)
+	if (a == nil) != (b == nil) {
+		t.Fatalf("trial not deterministic: %v vs %v", a, b)
+	}
+	if a != nil && (a.Phase != b.Phase || a.Msg != b.Msg) {
+		t.Fatalf("violation not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+// --- deliberately broken controllers: the fuzzer must catch them -----------
+
+// panickyRecover wraps a controller whose Recover panics, simulating an
+// unhardened recovery path hitting corrupt-image input.
+type panickyRecover struct{ memctrl.Controller }
+
+func (p *panickyRecover) Recover() (*memctrl.RecoveryReport, error) {
+	panic("index out of range [1099511627775] with length 256")
+}
+func (p *panickyRecover) Clone() memctrl.Controller {
+	return &panickyRecover{Controller: p.Controller.Clone()}
+}
+
+func TestFuzzerCatchesRecoveryPanicAndShrinks(t *testing.T) {
+	r := NewRunner()
+	r.NewController = func(f sim.Family, cfg memctrl.Config) (memctrl.Controller, error) {
+		c, err := sim.NewController(f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &panickyRecover{Controller: c}, nil
+	}
+	s := Schedule{
+		Profile: "libquantum", Combo: Combo{sim.FamilyBonsai, memctrl.SchemeStrict},
+		Model: nvm.CrashTornBlock, Warm: 256, Extra: 77, MidCommit: 4, Faults: 3,
+		TraceSeed: 99, CrashSeed: 7,
+	}
+	v := r.RunTrial(s)
+	if v == nil || v.Phase != "recover" {
+		t.Fatalf("panicking Recover not caught: %v", v)
+	}
+	if !strings.Contains(v.Msg, "panic:") {
+		t.Fatalf("violation does not identify the panic: %s", v.Msg)
+	}
+	min, mv := r.Shrink(s)
+	if mv == nil {
+		t.Fatal("shrink lost the failure")
+	}
+	if min.Faults != 0 || min.MidCommit != -1 || min.Model != nvm.CrashFullADR {
+		t.Fatalf("shrink kept irrelevant features: %+v", min)
+	}
+	if min.Extra != 1 || min.Warm != 0 {
+		t.Fatalf("shrink did not bisect to the minimal crash point: %+v", min)
+	}
+	// The minimal repro replays from its single-line token.
+	rt, err := ParseSchedule(min.String())
+	if err != nil {
+		t.Fatalf("minimal repro token does not parse: %v", err)
+	}
+	if v := r.RunTrial(rt); v == nil {
+		t.Fatal("replayed minimal repro does not fail")
+	}
+}
+
+// leakyBudget wraps a controller that re-arms the pre-fix pushBudget
+// bug: Crash "forgets" to disarm the mid-drain throttle, so the
+// recovered run's commit groups silently stop draining.
+type leakyBudget struct {
+	memctrl.Controller
+	armed int
+}
+
+func (l *leakyBudget) CrashWith(m nvm.CrashModel, rng *rand.Rand) {
+	l.Controller.CrashWith(m, rng)
+	if l.armed >= 0 {
+		// Pre-fix behaviour: the budget armed before the crash survives
+		// into the recovered run.
+		l.Controller.Device().SetPushBudget(l.armed)
+	}
+}
+func (l *leakyBudget) Crash() { l.CrashWith(nvm.CrashFullADR, nil) }
+func (l *leakyBudget) Clone() memctrl.Controller {
+	return &leakyBudget{Controller: l.Controller.Clone(), armed: l.armed}
+}
+
+func TestFuzzerCatchesPushBudgetLeak(t *testing.T) {
+	r := NewRunner()
+	r.NewController = func(f sim.Family, cfg memctrl.Config) (memctrl.Controller, error) {
+		c, err := sim.NewController(f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &leakyBudget{Controller: c, armed: 0}, nil
+	}
+	s := Schedule{
+		Profile: "libquantum", Combo: Combo{sim.FamilyBonsai, memctrl.SchemeStrict},
+		Model: nvm.CrashFullADR, Warm: 64, Extra: 8, MidCommit: 2,
+		TraceSeed: 99, CrashSeed: 3,
+	}
+	v := r.RunTrial(s)
+	if v == nil {
+		t.Fatal("leaked pushBudget not caught")
+	}
+	if v.Phase != "post-run" {
+		t.Fatalf("leak caught in phase %q, want post-run: %v", v.Phase, v)
+	}
+	min, mv := r.Shrink(s)
+	if mv == nil {
+		t.Fatal("shrink lost the failure")
+	}
+	if _, err := ParseSchedule(min.String()); err != nil {
+		t.Fatalf("minimal repro token does not parse: %v", err)
+	}
+}
+
+// --- native fuzz targets ----------------------------------------------------
+
+// fuzzRunner is shared across fuzz iterations of one worker process so
+// warm parents are reused (each worker owns its own process).
+var fuzzRunner = NewRunner()
+
+// FuzzTrial is the native crash-injection fuzz target: the engine
+// mutates the schedule dimensions and every execution must satisfy the
+// differential oracle.
+func FuzzTrial(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(0), uint16(10), int8(-1), uint8(0))
+	f.Add(int64(99), uint8(4), uint8(1), uint8(2), uint16(33), int8(3), uint8(1))
+	f.Add(int64(7), uint8(10), uint8(2), uint8(1), uint16(80), int8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, cseed int64, combo, model, profile uint8, extra uint16, mid int8, faults uint8) {
+		combos := Combos()
+		s := Schedule{
+			Profile:   Profiles[int(profile)%len(Profiles)],
+			Combo:     combos[int(combo)%len(combos)],
+			Model:     nvm.CrashModel(int(model) % len(nvm.CrashModels())),
+			Warm:      64,
+			Extra:     1 + int(extra)%MaxExtra,
+			MidCommit: -1,
+			Faults:    int(faults) % 4,
+			TraceSeed: 99,
+			CrashSeed: cseed,
+		}
+		if mid >= 0 {
+			s.MidCommit = int(mid) % 8
+		}
+		if v := fuzzRunner.RunTrial(s); v != nil {
+			t.Fatalf("%v", v)
+		}
+	})
+}
+
+// FuzzParseSchedule hardens the replay-token parser: it must never
+// panic, and accepted tokens must re-encode to an equivalent schedule.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("v1 profile=mcf combo=bonsai/strict model=full-adr warm=64 extra=10 mid=-1 faults=0 tseed=99 cseed=1")
+	f.Add("v1 profile=lbm combo=sgx/asit model=torn-block warm=0 extra=96 mid=5 faults=3 tseed=-4 cseed=-9")
+	f.Add("v1 garbage")
+	f.Fuzz(func(t *testing.T, tok string) {
+		s, err := ParseSchedule(tok)
+		if err != nil {
+			return
+		}
+		rt, err := ParseSchedule(s.String())
+		if err != nil || rt != s {
+			t.Fatalf("accepted token %q did not round-trip: %+v vs %+v (%v)", tok, s, rt, err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package memctrl
 
 import (
 	"fmt"
+	"math/rand"
 
 	"anubis/internal/cache"
 	"anubis/internal/counter"
@@ -556,8 +557,14 @@ func (b *Bonsai) FlushCaches() {
 // Crash models a power failure: caches, shadow mirrors, and in-flight
 // uncommitted groups are lost; NVM, WPQ contents, and on-chip persistent
 // registers survive.
-func (b *Bonsai) Crash() {
-	b.dev.Crash()
+func (b *Bonsai) Crash() { b.CrashWith(nvm.CrashFullADR, nil) }
+
+// CrashWith is Crash under an injectable persistence model: the relaxed
+// models may roll back or tear writes still in flight in the WPQ (see
+// nvm.CrashModel). Volatile controller state is lost identically under
+// every model.
+func (b *Bonsai) CrashWith(model nvm.CrashModel, rng *rand.Rand) {
+	b.dev.CrashWith(model, rng)
 	b.cCache.DropAll()
 	b.tCache.DropAll()
 	b.updateCount.Reset()

@@ -42,7 +42,7 @@ func (b *Bonsai) Recover() (*RecoveryReport, error) {
 			b.rootHash = root
 		}
 		b.crashed = false
-		return rep, ErrNotRecoverable
+		return rep, fmt.Errorf("%w: write-back persists no security metadata", ErrNotRecoverable)
 	case SchemeStrict:
 		root, ok := b.dev.GetReg64(regBonsaiRoot)
 		if !ok {
@@ -60,7 +60,7 @@ func (b *Bonsai) Recover() (*RecoveryReport, error) {
 	case SchemeTriad:
 		return b.recoverTriad(rep)
 	}
-	return rep, fmt.Errorf("memctrl: no recovery for scheme %v", b.cfg.Scheme)
+	return rep, fmt.Errorf("%w: no recovery for scheme %v", ErrUnrecoverable, b.cfg.Scheme)
 }
 
 // osirisFixLane recovers the encryption counter of one data block.
@@ -234,6 +234,12 @@ func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
 			continue // stale duplicate entry for the same block
 		}
 		seenPages[tr.Key] = true
+		// The SCT lives in NVM and can be corrupted by a torn or partial
+		// crash: a key outside the counter region would otherwise panic
+		// deep in the wear-leveling map during repair.
+		if tr.Key >= b.numPages {
+			return rep, fmt.Errorf("%w: SCT tracks counter page %#x beyond memory (%d pages)", ErrUnrecoverable, tr.Key, b.numPages)
+		}
 		if err := b.fixCounterBlock(tr.Key, rep); err != nil {
 			return rep, err
 		}
@@ -253,6 +259,11 @@ func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
 			continue
 		}
 		seenNodes[tr.Key] = true
+		// Same defense as the SCT scan: a corrupt SMT key outside the
+		// tree would panic inside Geometry.Unflat.
+		if tr.Key >= b.geom.TotalNodes() {
+			return rep, fmt.Errorf("%w: SMT tracks tree node %#x beyond the tree (%d nodes)", ErrUnrecoverable, tr.Key, b.geom.TotalNodes())
+		}
 		level, idx := b.geom.Unflat(tr.Key)
 		byLevel[level] = append(byLevel[level], idx)
 	}

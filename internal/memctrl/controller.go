@@ -20,6 +20,7 @@ package memctrl
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"anubis/internal/cache"
 	"anubis/internal/nvm"
@@ -298,6 +299,13 @@ type Controller interface {
 	FlushCaches()
 	// Crash models a power failure: all volatile state is lost.
 	Crash()
+	// CrashWith models a power failure under a relaxed-persistence
+	// crash model (see nvm.CrashModel): in-flight WPQ entries may be
+	// rolled back (partial drain) or torn at 8-byte-atom granularity
+	// (torn block). CrashWith(nvm.CrashFullADR, nil) ≡ Crash. The
+	// relaxed models need the device's in-flight undo log armed
+	// (Device().TrackInflight(true)) and a non-nil rng.
+	CrashWith(model nvm.CrashModel, rng *rand.Rand)
 	// Recover executes the scheme's recovery algorithm and returns its
 	// report. An error means the memory image could not be verified.
 	Recover() (*RecoveryReport, error)

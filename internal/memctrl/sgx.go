@@ -2,6 +2,7 @@ package memctrl
 
 import (
 	"fmt"
+	"math/rand"
 
 	"anubis/internal/cache"
 	"anubis/internal/counter"
@@ -683,8 +684,13 @@ func (c *SGX) FlushCaches() {
 }
 
 // Crash models a power failure.
-func (c *SGX) Crash() {
-	c.dev.Crash()
+func (c *SGX) Crash() { c.CrashWith(nvm.CrashFullADR, nil) }
+
+// CrashWith is Crash under an injectable persistence model (see
+// nvm.CrashModel). Volatile controller state is lost identically under
+// every model.
+func (c *SGX) CrashWith(model nvm.CrashModel, rng *rand.Rand) {
+	c.dev.CrashWith(model, rng)
 	c.mCache.DropAll()
 	c.updateCount.Reset()
 	c.pending = c.pending[:0]

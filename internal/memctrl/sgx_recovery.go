@@ -47,7 +47,7 @@ func (c *SGX) Recover() (*RecoveryReport, error) {
 	case SchemeASIT:
 		return c.recoverASIT(rep)
 	}
-	return rep, fmt.Errorf("memctrl: no recovery for scheme %v", c.cfg.Scheme)
+	return rep, fmt.Errorf("%w: no recovery for scheme %v", ErrUnrecoverable, c.cfg.Scheme)
 }
 
 // recoverASIT implements Algorithm 2 of the paper.
@@ -89,6 +89,14 @@ func (c *SGX) recoverASIT(rep *RecoveryReport) (*RecoveryReport, error) {
 			continue
 		}
 		rep.EntriesScanned++
+		// The shadow table was authenticated against SHADOW_TREE_ROOT in
+		// step 1, but defense in depth: a key outside the metadata space
+		// would panic inside Geometry.Unflat below, and recovery must
+		// fail typed, never crash, on any image a power failure (or a
+		// tamperer racing one) can produce.
+		if !c.validMetaKey(e.Key) {
+			return rep, fmt.Errorf("%w: shadow table slot %d tracks invalid metadata key %#x", ErrUnrecoverable, slot, e.Key)
+		}
 		r := c.refOfKey(e.Key)
 		region, idx := c.regionIdx(r)
 		stale := counter.UnpackSGX(c.dev.Read(region, idx))
@@ -119,7 +127,12 @@ func (c *SGX) recoverASIT(rep *RecoveryReport) (*RecoveryReport, error) {
 		// Reinstall the block in exactly the slot its live entry tracks:
 		// the shadow table mirrors the cache's data array slot-for-slot,
 		// so a block placed in a different way would desynchronize every
-		// future shadow write for this set.
+		// future shadow write for this set. InsertAtSlot panics on an
+		// illegal placement (its contract is programming error, not bad
+		// input), so validate the untrusted placement first.
+		if !c.mCache.CanInsertAtSlot(cand.slot, key) {
+			return rep, fmt.Errorf("%w: shadow table places key %#x in illegal slot %d", ErrUnrecoverable, key, cand.slot)
+		}
 		c.mCache.InsertAtSlot(cand.slot, key, cand.g.Pack())
 		c.mCache.MarkDirty(key)
 		rep.NodesRebuilt++
@@ -143,6 +156,17 @@ func (c *SGX) recoverASIT(rep *RecoveryReport) (*RecoveryReport, error) {
 	// through natural eviction, as in the paper (§4.3.2).
 	c.crashed = false
 	return rep, nil
+}
+
+// validMetaKey reports whether a (possibly crash-corrupted) shadow
+// table key denotes a real metadata block: a counter leaf below
+// numLeaves, or a tree node whose flat index lies inside the geometry.
+// refOfKey/regionIdx assume a valid key and panic otherwise.
+func (c *SGX) validMetaKey(key uint64) bool {
+	if key&treeKeyBase == 0 {
+		return key < c.numLeaves
+	}
+	return key&^treeKeyBase < c.geom.TotalNodes()
 }
 
 // ctrSum totals a block's counters; counters are monotone, so the sum

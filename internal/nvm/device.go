@@ -153,6 +153,12 @@ type Device struct {
 	// simulated power loss; -1 means unlimited. Test hook for §2.7.
 	pushBudget int
 
+	// trackInflight arms the relaxed-crash-model undo log (see
+	// crashmodel.go); inflight holds pushed writes that may still be in
+	// the WPQ, with the media state they replaced.
+	trackInflight bool
+	inflight      []inflightWrite
+
 	// regs is the on-chip persistent register file.
 	regs map[string][BlockBytes]byte
 }
@@ -295,7 +301,6 @@ func (d *Device) Push(w PendingWrite, now uint64) uint64 {
 		now = earliest
 		d.wpq.prune(now)
 	}
-	d.apply(&w)
 	// PCM writes are slow and effectively serialize on the rank's write
 	// path (long write-recovery occupancy), which is what makes strict
 	// persistence's write amplification so expensive. The caller does
@@ -306,6 +311,13 @@ func (d *Device) Push(w PendingWrite, now uint64) uint64 {
 		start = f
 	}
 	done := start + d.timing.WriteNS
+	if d.trackInflight {
+		// Relaxed crash models: snapshot the media state this write
+		// replaces, tagged with its drain completion time (see
+		// crashmodel.go). Must run before apply.
+		d.recordInflight(&w, now, done)
+	}
+	d.apply(&w)
 	d.ports.occupyMin(done)
 	// The drain also occupies the target bank: reads to it wait out the
 	// write, which is how metadata write amplification inflates read
@@ -539,6 +551,11 @@ func (d *Device) RedoCommitted() int {
 // will push at most n more entries. Pass -1 to disarm.
 func (d *Device) SetPushBudget(n int) { d.pushBudget = n }
 
+// PushBudget reports the current mid-drain power-loss budget (-1 when
+// disarmed). Test hook: the crash regression suite asserts Crash
+// resets it.
+func (d *Device) PushBudget() int { return d.pushBudget }
+
 // --- persistent register file ---------------------------------------------
 
 // SetReg durably stores a named on-chip register value (≤ 64 bytes).
@@ -606,15 +623,17 @@ func (d *Device) Snapshot() {
 // child may both be forked again, any number of times.
 func (d *Device) Fork() *Device {
 	n := &Device{
-		timing:     d.timing,
-		bankFree:   append([]uint64(nil), d.bankFree...),
-		ports:      d.ports.clone(),
-		wpq:        d.wpq.clone(),
-		stats:      d.stats,
-		staged:     append([]PendingWrite(nil), d.staged...),
-		doneBit:    d.doneBit,
-		pushBudget: d.pushBudget,
-		regs:       make(map[string][BlockBytes]byte, len(d.regs)),
+		timing:        d.timing,
+		bankFree:      append([]uint64(nil), d.bankFree...),
+		ports:         d.ports.clone(),
+		wpq:           d.wpq.clone(),
+		stats:         d.stats,
+		staged:        append([]PendingWrite(nil), d.staged...),
+		doneBit:       d.doneBit,
+		pushBudget:    d.pushBudget,
+		trackInflight: d.trackInflight,
+		inflight:      append([]inflightWrite(nil), d.inflight...),
+		regs:          make(map[string][BlockBytes]byte, len(d.regs)),
 	}
 	for r := range d.store {
 		n.store[r] = d.store[r].fork()
@@ -629,14 +648,10 @@ func (d *Device) Fork() *Device {
 
 // Crash models a power failure: ADR has already made every pushed write
 // durable; staged-but-uncommitted groups are lost; committed groups and
-// registers survive. Timing state resets (the machine is off).
+// registers survive. Timing state resets (the machine is off), and the
+// pushBudget test hook disarms — a budgeted power-loss trial must not
+// throttle the recovered run. Equivalent to CrashWith(CrashFullADR, nil);
+// see crashmodel.go for the relaxed-persistence models.
 func (d *Device) Crash() {
-	if !d.doneBit {
-		d.staged = d.staged[:0]
-	}
-	for i := range d.bankFree {
-		d.bankFree[i] = 0
-	}
-	d.ports.reset()
-	d.wpq.reset()
+	d.CrashWith(CrashFullADR, nil)
 }

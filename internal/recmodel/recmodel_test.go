@@ -139,8 +139,53 @@ func TestFormatDuration(t *testing.T) {
 }
 
 func TestSpeedupEdge(t *testing.T) {
-	if Speedup(100, 0) != 0 {
-		t.Fatal("zero denominator must yield 0")
+	cases := []struct {
+		name       string
+		slow, fast uint64
+		want       float64
+	}{
+		{"zero denominator", 100, 0, 0},
+		{"both zero", 0, 0, 0},
+		{"zero numerator", 0, 5, 0},
+		{"equal values", 7, 7, 1},
+		{"equal large values", 1 << 40, 1 << 40, 1},
+		{"simple ratio", 300, 100, 3},
+		{"sub-unity (slowdown)", 100, 400, 0.25},
+	}
+	for _, c := range cases {
+		if got := Speedup(c.slow, c.fast); got != c.want {
+			t.Errorf("%s: Speedup(%d, %d) = %v, want %v", c.name, c.slow, c.fast, got, c.want)
+		}
+	}
+}
+
+// TestFormatDurationBoundaries pins the exact rendering at every unit
+// boundary: values just below and at each threshold must pick the
+// expected unit and precision.
+func TestFormatDurationBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		ns   uint64
+		want string
+	}{
+		{"one ns", 1, "0 µs"},
+		{"sub-microsecond", 500, "0 µs"},
+		{"one µs", 1_000, "1 µs"},
+		{"just below ms", 999_000, "999 µs"},
+		{"one ms", 1_000_000, "1.00 ms"},
+		{"just below s", 999_000_000, "999.00 ms"},
+		{"one second", 1_000_000_000, "1.00 s"},
+		{"paper headline 0.03s", 30_000_000, "30.00 ms"},
+		{"just below a minute", 59_500_000_000, "59.50 s"},
+		{"one minute", 60_000_000_000, "1.0 min"},
+		{"just below an hour", 3_599_000_000_000, "60.0 min"},
+		{"one hour", 3_600_000_000_000, "1.0 h"},
+		{"paper headline 7.8h", 28_193_000_000_000, "7.8 h"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.ns); got != c.want {
+			t.Errorf("%s: FormatDuration(%d) = %q, want %q", c.name, c.ns, got, c.want)
+		}
 	}
 }
 

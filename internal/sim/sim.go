@@ -85,7 +85,7 @@ func Run(ctrl memctrl.Controller, gen trace.Source, nReq int) (Result, error) {
 		addr := req.Block % nBlocks
 		issue := ctrl.Now()
 		if req.Op == trace.OpWrite {
-			fill(&data, req.Block, uint64(i))
+			FillBlock(&data, req.Block, uint64(i))
 			if err := ctrl.WriteBlock(addr, data); err != nil {
 				return res, fmt.Errorf("sim: request %d (write %d): %w", i, addr, err)
 			}
@@ -102,8 +102,10 @@ func Run(ctrl memctrl.Controller, gen trace.Source, nReq int) (Result, error) {
 	return res, nil
 }
 
-// fill writes deterministic content so every write has distinct data.
-func fill(d *[memctrl.BlockBytes]byte, block, n uint64) {
+// FillBlock writes deterministic content so every write has distinct
+// data. Exported so the crash-injection fuzzer can regenerate the exact
+// bytes Run wrote when maintaining its golden shadow copy.
+func FillBlock(d *[memctrl.BlockBytes]byte, block, n uint64) {
 	x := block*0x9e3779b97f4a7c15 ^ n
 	for i := range d {
 		x ^= x << 13
