@@ -17,6 +17,12 @@
 //	anubis-bench -recovery -trials 200  # crash-point sweep off one warm fork
 //	anubis-bench -suite -json results/  # PR-tracking benchmark matrix (make bench-json)
 //
+// Observability (see DESIGN.md § Observability):
+//
+//	anubis-bench -all -metrics-addr :9090        # live Prometheus /metrics + /vars
+//	anubis-bench -fig10 -trace-events out.json   # Chrome trace of sampled requests
+//	anubis-bench -fig10 -trace-events out.json -trace-sample 1  # every request
+//
 // Profiling (for performance work on the simulator itself):
 //
 //	anubis-bench -fig10 -cpuprofile cpu.pprof   # go tool pprof cpu.pprof
@@ -36,6 +42,7 @@ import (
 
 	"anubis/internal/figures"
 	"anubis/internal/memctrl"
+	"anubis/internal/obs"
 	"anubis/internal/recmodel"
 )
 
@@ -67,6 +74,13 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file")
+
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live telemetry on this address while the run executes (/metrics Prometheus text, /vars JSON)")
+		traceEvents = flag.String("trace-events", "",
+			"write sampled simulation events (requests with stall attribution, evictions, commits, recovery) as Chrome trace-event JSON to this file")
+		traceSample = flag.Int("trace-sample", 64,
+			"with -trace-events, record every Nth request per cell (1 = all; structural events are never sampled out)")
 	)
 	flag.Parse()
 
@@ -128,10 +142,57 @@ func main() {
 	}
 	rep := newReport(*workers, *n, *mem, *seed, rc.Apps)
 
-	if *suite {
-		if err := runSuite(rep, out, *seed, *trials); err != nil {
+	// Observability: a cell observer always aggregates the per-component
+	// stall ledger into the JSON report; -metrics-addr additionally
+	// publishes it live, and -trace-events records sampled probe events.
+	watch := newCellWatch()
+	if *metricsAddr != "" {
+		tel := obs.NewTelemetry()
+		bound, err := obs.Serve(*metricsAddr, tel)
+		if err != nil {
 			fail(err)
 		}
+		watch.tel = tel
+		fmt.Fprintf(out, "telemetry: http://%s/metrics (Prometheus), http://%s/vars (JSON)\n", bound, bound)
+	}
+	var tracer *obs.Tracer
+	if *traceEvents != "" {
+		if *traceSample < 1 {
+			fail(fmt.Errorf("-trace-sample must be >= 1 (got %d)", *traceSample))
+		}
+		tracer = obs.NewTracer(*traceSample)
+	}
+	hooks := func(rc *figures.RunConfig) {
+		rc.OnCell = watch.observe
+		rc.Trace = tracer
+	}
+	hooks(&rc)
+	// finishObs folds the aggregated attribution into the report and
+	// flushes the event trace; called once before any report is written.
+	finishObs := func() {
+		watch.finish(rep)
+		if tracer == nil {
+			return
+		}
+		f, err := os.Create(*traceEvents)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "wrote %d trace events to %s\n", tracer.Len(), *traceEvents)
+	}
+
+	if *suite {
+		if err := runSuite(rep, out, *seed, *trials, hooks); err != nil {
+			fail(err)
+		}
+		finishObs()
 		fmt.Fprintf(out, "total: %.0f ms wall, %d simulation cells\n", rep.TotalWallMS, rep.TotalCells)
 		if *jsonOut != "" {
 			path := resolvePath(*jsonOut, time.Now())
@@ -249,6 +310,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	finishObs()
 
 	fmt.Fprintf(out, "total: %.0f ms wall, %d simulation cells, parallel=%d\n",
 		rep.TotalWallMS, rep.TotalCells, *workers)

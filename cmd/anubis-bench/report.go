@@ -6,8 +6,23 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
+	"sync"
 	"time"
+
+	"anubis/internal/obs"
+	"anubis/internal/sim"
 )
+
+// SchemaVersion identifies the JSON report layout. Bump it when a
+// field is renamed or its meaning changes; adding fields is backward
+// compatible and does not require a bump. History:
+//
+//	1 — implicit schema of the pre-versioned reports (no marker field).
+//	2 — adds schema_version, build info (vcs_revision, vcs_modified),
+//	    aggregate per-component stall attribution (attribution_ns,
+//	    requests_simulated), and JSON tags across sim/memctrl records.
+const SchemaVersion = 2
 
 // FigureTiming is one evaluated artifact's entry in the JSON benchmark
 // report: wall time, how many simulation cells it fanned out, and its
@@ -24,8 +39,15 @@ type FigureTiming struct {
 // PR records a before/after pair of these to track the evaluation
 // engine's performance trajectory (see README § Benchmarks).
 type Report struct {
-	Timestamp   string         `json:"timestamp"`
-	GoVersion   string         `json:"go_version"`
+	SchemaVersion int    `json:"schema_version"`
+	Timestamp     string `json:"timestamp"`
+	GoVersion     string `json:"go_version"`
+	// VCSRevision/VCSModified come from runtime/debug.ReadBuildInfo:
+	// set when the binary was built inside a git checkout (empty for
+	// `go run` and test binaries), so a report can be traced back to
+	// the exact commit that produced it.
+	VCSRevision string         `json:"vcs_revision,omitempty"`
+	VCSModified bool           `json:"vcs_modified,omitempty"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	Parallel    int            `json:"parallel"`
 	Requests    int            `json:"requests"`
@@ -35,20 +57,88 @@ type Report struct {
 	TotalWallMS float64        `json:"total_wall_ms"`
 	TotalCells  int            `json:"total_cells"`
 	Figures     []FigureTiming `json:"figures"`
+
+	// Attribution is the per-component stall ledger summed over every
+	// simulation cell the run completed (simulated nanoseconds, keyed
+	// by component name). Simulated time is deterministic for a given
+	// seed, so scripts/bench_compare can gate on per-component drift
+	// without wall-clock noise. RequestsSimulated normalizes it.
+	Attribution        *obs.Ledger `json:"attribution_ns,omitempty"`
+	RequestsSimulated  uint64      `json:"requests_simulated,omitempty"`
+	CellsWithAttribute uint64      `json:"attribution_cells,omitempty"`
 }
 
 // newReport seeds a report with the run's environment.
 func newReport(parallel, requests int, mem uint64, seed int64, apps []string) *Report {
-	return &Report{
-		Timestamp:   time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Parallel:    parallel,
-		Requests:    requests,
-		MemoryBytes: mem,
-		Seed:        seed,
-		Apps:        apps,
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Parallel:      parallel,
+		Requests:      requests,
+		MemoryBytes:   mem,
+		Seed:          seed,
+		Apps:          apps,
 	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				r.VCSRevision = s.Value
+			case "vcs.modified":
+				r.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return r
+}
+
+// cellWatch aggregates completed simulation cells: the per-component
+// stall ledger and request counts for the JSON report, plus (when
+// -metrics-addr is set) a live telemetry registry. observe runs on
+// parallel-engine worker goroutines, hence the mutex; one call per
+// cell keeps it far off the hot path.
+type cellWatch struct {
+	mu   sync.Mutex
+	att  obs.Ledger
+	reqs uint64
+	n    uint64
+	tel  *obs.Telemetry
+}
+
+func newCellWatch() *cellWatch { return &cellWatch{} }
+
+func (w *cellWatch) observe(res sim.Result) {
+	w.mu.Lock()
+	w.att.Merge(&res.Stats.Attribution)
+	w.reqs += uint64(res.Requests)
+	w.n++
+	w.mu.Unlock()
+	if w.tel == nil {
+		return
+	}
+	w.tel.Update(func(r *obs.Registry) {
+		r.Counter("anubis_cells_completed_total", 1)
+		r.Counter("anubis_requests_simulated_total", uint64(res.Requests))
+		r.MergeLedger("anubis_stall_ns_total", &res.Stats.Attribution)
+		r.Observe("anubis_cell_exec_ns", res.ExecNS)
+		r.Observe("anubis_cell_nvm_writes", res.Stats.NVM.Writes)
+	})
+}
+
+// finish folds the aggregate into the report. Idempotent so callers
+// can invoke it at any exit point.
+func (w *cellWatch) finish(rep *Report) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 {
+		return
+	}
+	att := w.att // copy: the report must not alias the live ledger
+	rep.Attribution = &att
+	rep.RequestsSimulated = w.reqs
+	rep.CellsWithAttribute = w.n
 }
 
 // record times fn, appends its figure entry, and accumulates totals.

@@ -39,7 +39,9 @@ func suiteFull(seed int64) figures.RunConfig {
 // runSuite executes the benchmark matrix into rep. trials sizes the
 // recovery sweeps; the cold sweep re-fills per trial, so its wall time
 // grows linearly with trials while the forked sweep pays one fill.
-func runSuite(rep *Report, out io.Writer, seed int64, trials int) error {
+// hooks applies the CLI's observability wiring (cell observer, event
+// tracer) to every run configuration the suite constructs.
+func runSuite(rep *Report, out io.Writer, seed int64, trials int, hooks func(*figures.RunConfig)) error {
 	for _, scale := range []struct {
 		label string
 		rc    figures.RunConfig
@@ -56,6 +58,7 @@ func runSuite(rep *Report, out io.Writer, seed int64, trials int) error {
 		} {
 			rc := scale.rc
 			rc.Parallel = par.workers
+			hooks(&rc)
 			name := scale.label + "_" + par.label
 			nApps := rc.NumApps()
 			if err := rep.record(name+":fig10", nApps*len(figures.Fig10Schemes), func() (map[string]float64, error) {
@@ -93,6 +96,7 @@ func runSuite(rep *Report, out io.Writer, seed int64, trials int) error {
 	rrc.MemoryBytes = 32 << 20
 	rrc.Apps = []string{"libquantum"}
 	rrc.Parallel = runtime.GOMAXPROCS(0)
+	hooks(&rrc)
 	sweep := func(cold bool) (map[string]float64, error) {
 		res, err := figures.RecoverySweep(figures.RecoverySweepConfig{
 			Run:           rrc,

@@ -16,10 +16,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"anubis/internal/crashfuzz"
 	"anubis/internal/nvm"
+	"anubis/internal/obs"
 )
 
 func main() {
@@ -29,7 +32,10 @@ func main() {
 		scheme  = flag.String("scheme", "all", "restrict to one combo (e.g. bonsai/agit-plus, sgx/asit) or 'all'")
 		model   = flag.String("model", "all", "restrict to one crash model (full-adr, partial-drain, torn-block) or 'all'")
 		replay  = flag.String("replay", "", "replay a single schedule token (skips random generation)")
-		verbose = flag.Bool("v", false, "print every schedule as it runs")
+		verbose = flag.Bool("v", false,
+			"print every schedule as it runs and a campaign summary (per-trial wall-time histogram, trial/violation counters by policy class and crash model)")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live campaign telemetry on this address (/metrics Prometheus text, /vars JSON)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -41,6 +47,18 @@ func main() {
 	flag.Parse()
 
 	r := crashfuzz.NewRunner()
+
+	camp := newCampaign()
+	if *metricsAddr != "" {
+		tel := obs.NewTelemetry()
+		bound, err := obs.Serve(*metricsAddr, tel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anubis-fuzz:", err)
+			os.Exit(2)
+		}
+		camp.tel = tel
+		fmt.Printf("telemetry: http://%s/metrics (Prometheus), http://%s/vars (JSON)\n", bound, bound)
+	}
 
 	if *replay != "" {
 		s, err := crashfuzz.ParseSchedule(*replay)
@@ -89,18 +107,82 @@ func main() {
 		if *verbose {
 			fmt.Printf("trial %4d: %s\n", i, s)
 		}
-		if v := r.RunTrial(s); v != nil {
+		start := time.Now()
+		v := r.RunTrial(s)
+		camp.trial(s, time.Since(start), v)
+		if v != nil {
 			violations++
 			fmt.Printf("\ntrial %d FAILED\n", i)
 			report(r, v, true)
 			break // first violation ends the run: fix, then re-fuzz
 		}
 	}
+	if *verbose {
+		camp.summarize(os.Stdout)
+	}
 	if violations > 0 {
 		os.Exit(1)
 	}
 	fmt.Printf("PASS: %d trials, 0 violations, 0 panics (seed %d, scheme %s, model %s)\n",
 		*trials, *seed, *scheme, *model)
+}
+
+// campaign aggregates fuzz-campaign observability: a per-trial
+// wall-time histogram plus trial and violation counters keyed by
+// recovery-policy class and crash model. The local registry backs the
+// -v summary; when -metrics-addr is set the same updates are mirrored
+// to the live telemetry registry under the mutex.
+type campaign struct {
+	reg   *obs.Registry
+	tel   *obs.Telemetry
+	start time.Time
+}
+
+func newCampaign() *campaign {
+	return &campaign{reg: obs.NewRegistry(), start: time.Now()}
+}
+
+// trial records one completed trial (v == nil means it passed).
+func (c *campaign) trial(s crashfuzz.Schedule, wall time.Duration, v *crashfuzz.Violation) {
+	rec := func(r *obs.Registry) {
+		class := fmt.Sprintf(`{policy=%q,model=%q}`, crashfuzz.PolicyOf(s.Combo), s.Model)
+		r.Counter("anubis_fuzz_trials_total"+class, 1)
+		r.Observe("anubis_fuzz_trial_wall_us", uint64(wall.Microseconds()))
+		if v != nil {
+			r.Counter(fmt.Sprintf(`anubis_fuzz_violations_total{phase=%q,policy=%q,model=%q}`,
+				v.Phase, crashfuzz.PolicyOf(s.Combo), s.Model), 1)
+		}
+	}
+	rec(c.reg)
+	if c.tel != nil {
+		c.tel.Update(rec)
+	}
+}
+
+// summarize prints the -v campaign report: trial wall-time percentiles
+// and the per-class counters, in deterministic order.
+func (c *campaign) summarize(w *os.File) {
+	h := c.reg.Histogram("anubis_fuzz_trial_wall_us")
+	if h == nil || h.Count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ncampaign summary (%d trials, %.2fs wall)\n", h.Count, time.Since(c.start).Seconds())
+	fmt.Fprintf(w, "  per-trial wall time: mean=%.0fµs p50=%dµs p90=%dµs p99=%dµs max=%dµs\n",
+		h.Mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99), h.Max)
+	fmt.Fprintf(w, "  distribution: %s\n", h)
+	snap := c.reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		if strings.HasPrefix(name, "anubis_fuzz_trials_total") ||
+			strings.HasPrefix(name, "anubis_fuzz_violations_total") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "  trials by policy class and crash model:")
+	for _, name := range names {
+		fmt.Fprintf(w, "    %-72s %6.0f\n", name, snap[name])
+	}
 }
 
 // report prints a violation and, when asked, shrinks it to the minimal

@@ -48,13 +48,13 @@ type Victim struct {
 // Stats accumulates cache events. Clean/dirty eviction counts feed the
 // paper's Figure 7.
 type Stats struct {
-	Hits           uint64
-	Misses         uint64
-	Insertions     uint64
-	Evictions      uint64
-	CleanEvictions uint64
-	DirtyEvictions uint64
-	FirstDirties   uint64 // MarkDirty transitions clean->dirty
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Insertions     uint64 `json:"insertions"`
+	Evictions      uint64 `json:"evictions"`
+	CleanEvictions uint64 `json:"clean_evictions"`
+	DirtyEvictions uint64 `json:"dirty_evictions"`
+	FirstDirties   uint64 `json:"first_dirties"` // MarkDirty transitions clean->dirty
 }
 
 // Cache is a set-associative write-back cache keyed by 64-bit block

@@ -25,10 +25,10 @@ import (
 
 // StopLossRow is one point of the stop-loss sweep.
 type StopLossRow struct {
-	StopLoss       int
-	Normalized     float64 // exec time vs write-back
-	StopLossWrites uint64  // extra counter persists at run time
-	RecoveryCrypto uint64  // decrypt+check trials during recovery
+	StopLoss       int     `json:"stop_loss"`
+	Normalized     float64 `json:"normalized"`       // exec time vs write-back
+	StopLossWrites uint64  `json:"stop_loss_writes"` // extra counter persists at run time
+	RecoveryCrypto uint64  `json:"recovery_crypto"`  // decrypt+check trials during recovery
 }
 
 // AblationStopLoss sweeps the Osiris stop-loss limit on a write-heavy
@@ -109,10 +109,10 @@ func PrintAblationStopLoss(w io.Writer, rc RunConfig) error {
 
 // BackendRow compares the two counter-recovery backends.
 type BackendRow struct {
-	Backend        memctrl.CounterRecovery
-	Normalized     float64
-	StopLossWrites uint64
-	RecoveryOps    uint64
+	Backend        memctrl.CounterRecovery `json:"backend"`
+	Normalized     float64                 `json:"normalized"`
+	StopLossWrites uint64                  `json:"stop_loss_writes"`
+	RecoveryOps    uint64                  `json:"recovery_ops"`
 }
 
 // AblationRecoveryBackend compares ECC-trial recovery (Osiris proper)
@@ -162,12 +162,12 @@ func PrintAblationRecoveryBackend(w io.Writer, rc RunConfig) error {
 
 // EnduranceRow is one scheme's write-endurance footprint.
 type EnduranceRow struct {
-	Scheme           memctrl.Scheme
-	Family           sim.Family
-	WearLeveled      bool
-	WritesPerRequest float64 // NVM writes per CPU write request
-	HottestWear      uint64  // writes absorbed by the hottest block
-	LifetimeFactor   float64 // write-back hottest wear / this hottest wear
+	Scheme           memctrl.Scheme `json:"scheme"`
+	Family           sim.Family     `json:"family"`
+	WearLeveled      bool           `json:"wear_leveled"`
+	WritesPerRequest float64        `json:"writes_per_request"` // NVM writes per CPU write request
+	HottestWear      uint64         `json:"hottest_wear"`       // writes absorbed by the hottest block
+	LifetimeFactor   float64        `json:"lifetime_factor"`    // write-back hottest wear / this hottest wear
 }
 
 // AblationEndurance measures NVM write amplification and hot-spot wear
@@ -259,10 +259,10 @@ func wearRegionName(r nvm.Region) string { return r.String() }
 
 // TriadRow is one point of the Triad-NVM resilience sweep.
 type TriadRow struct {
-	Levels       int
-	Normalized   float64 // exec time vs write-back
-	Recovery8TBS float64 // analytic recovery seconds at 8 TB
-	MeasuredOps  uint64  // executed recovery ops at test scale
+	Levels       int     `json:"levels"`
+	Normalized   float64 `json:"normalized"`     // exec time vs write-back
+	Recovery8TBS float64 `json:"recovery_8tb_s"` // analytic recovery seconds at 8 TB
+	MeasuredOps  uint64  `json:"measured_ops"`   // executed recovery ops at test scale
 }
 
 // AblationTriad sweeps the Triad-NVM persisted-levels knob, exposing

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"anubis/internal/memctrl"
+	"anubis/internal/obs"
 	"anubis/internal/parallel"
 	"anubis/internal/recmodel"
 	"anubis/internal/sim"
@@ -51,6 +52,16 @@ type RunConfig struct {
 	// per-size configs), which is why this is a pointer: every copy
 	// shares the same cache.
 	Arenas *trace.ArenaCache
+	// OnCell, when non-nil, observes every completed simulation cell.
+	// It runs on worker goroutines and must be safe for concurrent use
+	// (cmd/anubis-bench feeds a mutex-guarded telemetry registry).
+	// Observation only: it cannot change results.
+	OnCell func(res sim.Result)
+	// Trace, when non-nil, records sampled probe events for every
+	// simulation cell, one trace thread per cell. Tracing never alters
+	// simulated timing (probes receive completed facts only), so sweep
+	// outputs stay byte-identical with or without it.
+	Trace *obs.Tracer
 }
 
 // pool returns the worker pool every figure sweep fans out on.
@@ -133,7 +144,15 @@ func (rc RunConfig) run(f sim.Family, s memctrl.Scheme, p trace.Profile) (sim.Re
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.Run(ctrl, rc.source(p), rc.Requests)
+	var probe obs.Probe
+	if rc.Trace != nil {
+		probe = rc.Trace.Scope(fmt.Sprintf("%s/%s/%s", f, s, p.Name))
+	}
+	res, err := sim.RunObserved(ctrl, rc.source(p), rc.Requests, probe)
+	if err == nil && rc.OnCell != nil {
+		rc.OnCell(res)
+	}
+	return res, err
 }
 
 // NumApps reports how many application profiles the configuration runs
@@ -169,8 +188,8 @@ func Table1(w io.Writer) {
 
 // Fig5Row is one point of the Osiris recovery-time curve.
 type Fig5Row struct {
-	MemBytes uint64
-	NS       uint64
+	MemBytes uint64 `json:"mem_bytes"`
+	NS       uint64 `json:"recovery_ns"`
 }
 
 // Fig5 computes Osiris whole-memory recovery time for the paper's
@@ -198,10 +217,10 @@ func PrintFig5(w io.Writer) {
 
 // Fig7Row reports per-app counter-cache eviction cleanliness.
 type Fig7Row struct {
-	App        string
-	CleanFrac  float64
-	Evictions  uint64
-	FirstDirty uint64
+	App        string  `json:"app"`
+	CleanFrac  float64 `json:"clean_frac"`
+	Evictions  uint64  `json:"evictions"`
+	FirstDirty uint64  `json:"first_dirty"`
 }
 
 // Fig7 measures the fraction of clean counter-cache evictions per app
@@ -257,8 +276,8 @@ func PrintFig7Rows(w io.Writer, rows []Fig7Row) {
 
 // PerfRow is one app's normalized execution times per scheme.
 type PerfRow struct {
-	App  string
-	Norm map[memctrl.Scheme]float64
+	App  string                     `json:"app"`
+	Norm map[memctrl.Scheme]float64 `json:"normalized"`
 }
 
 // Fig10Schemes lists the AGIT evaluation's schemes in the paper's order.
@@ -346,9 +365,9 @@ func PrintPerf(w io.Writer, title string, rows []PerfRow, avg map[memctrl.Scheme
 
 // Fig12Row is one point of the Anubis recovery-time curves.
 type Fig12Row struct {
-	CacheBytes uint64 // per-cache size (counter cache = tree cache)
-	AGITNS     uint64
-	ASITNS     uint64
+	CacheBytes uint64 `json:"cache_bytes"` // per-cache size (counter cache = tree cache)
+	AGITNS     uint64 `json:"agit_ns"`
+	ASITNS     uint64 `json:"asit_ns"`
 }
 
 // Fig12 computes Anubis recovery time versus metadata cache size
@@ -397,8 +416,8 @@ func MeasuredRecovery(scheme memctrl.Scheme, family sim.Family, rc RunConfig) (*
 
 // Fig13Row is one cache-size point of the sensitivity study.
 type Fig13Row struct {
-	CacheBytes uint64
-	Norm       map[memctrl.Scheme]float64 // averaged over apps, normalized to same-size write-back
+	CacheBytes uint64                     `json:"cache_bytes"`
+	Norm       map[memctrl.Scheme]float64 `json:"normalized"` // averaged over apps, normalized to same-size write-back
 }
 
 // Fig13Schemes are the schemes whose sensitivity the paper plots.

@@ -52,23 +52,23 @@ type RecoverySweepConfig struct {
 
 // RecoveryTrial is one crash point's outcome.
 type RecoveryTrial struct {
-	Extra  int        // requests executed past the warm point before the crash
-	Window sim.Result // the post-warm measurement window
-	Report memctrl.RecoveryReport
+	Extra  int                    `json:"extra"`  // requests executed past the warm point before the crash
+	Window sim.Result             `json:"window"` // the post-warm measurement window
+	Report memctrl.RecoveryReport `json:"report"`
 }
 
 // RecoverySweepResult aggregates a sweep.
 type RecoverySweepResult struct {
-	Scheme memctrl.Scheme
-	App    string
-	Warm   int
-	Cold   bool
-	Trials []RecoveryTrial
+	Scheme memctrl.Scheme  `json:"scheme"`
+	App    string          `json:"app"`
+	Warm   int             `json:"warm"`
+	Cold   bool            `json:"cold"`
+	Trials []RecoveryTrial `json:"trials"`
 
 	// ReadLat/WriteLat merge every trial's measurement-window histogram
 	// (via LatencyHist.Merge), in trial order.
-	ReadLat  sim.LatencyHist
-	WriteLat sim.LatencyHist
+	ReadLat  sim.LatencyHist `json:"read_latency"`
+	WriteLat sim.LatencyHist `json:"write_latency"`
 }
 
 // ModeledRecoveryNS returns the min/mean/max of the modeled recovery

@@ -10,6 +10,7 @@ import (
 	"anubis/internal/ecc"
 	"anubis/internal/merkle"
 	"anubis/internal/nvm"
+	"anubis/internal/obs"
 	"anubis/internal/shadow"
 )
 
@@ -58,6 +59,12 @@ type Bonsai struct {
 	now     uint64
 	stats   RunStats
 	crashed bool
+
+	// probe observes simulation events (evictions, commits, overflows,
+	// recovery). Nil by default: every emission site is a single
+	// predictable nil-check branch, so the disabled path costs nothing
+	// and cannot perturb simulated timing.
+	probe obs.Probe
 
 	// pending accumulates the current operation's atomic write group.
 	pending []nvm.PendingWrite
@@ -173,12 +180,17 @@ func (b *Bonsai) Device() *nvm.Device { return b.dev }
 // Now returns the controller's virtual time.
 func (b *Bonsai) Now() uint64 { return b.now }
 
-// AdvanceTo moves virtual time forward.
+// AdvanceTo moves virtual time forward (CPU think time between
+// requests, attributed as cpu_gap).
 func (b *Bonsai) AdvanceTo(t uint64) {
 	if t > b.now {
+		b.dev.Attr().Add(obs.CompCPUGap, t-b.now)
 		b.now = t
 	}
 }
+
+// SetProbe attaches (or detaches, with nil) an event probe.
+func (b *Bonsai) SetProbe(p obs.Probe) { b.probe = p }
 
 // Stats returns run-time statistics.
 func (b *Bonsai) Stats() RunStats {
@@ -186,6 +198,7 @@ func (b *Bonsai) Stats() RunStats {
 	s.NVM = b.dev.Stats()
 	s.CounterCache = b.cCache.Stats()
 	s.TreeCache = b.tCache.Stats()
+	s.Attribution = *b.dev.Attr()
 	return s
 }
 
@@ -280,7 +293,11 @@ func (b *Bonsai) writeBackTreeVictim(v *cache.Victim) {
 	if v == nil || !v.Dirty {
 		return
 	}
+	start := b.now
 	b.now = b.dev.Push(nvm.PendingWrite{Region: nvm.RegionTree, Index: v.Key, Block: v.Data}, b.now)
+	if b.probe != nil {
+		b.probe.Event(obs.EvEviction, start, b.now, v.Key)
+	}
 }
 
 func (b *Bonsai) writeBackCounterVictim(v *cache.Victim) {
@@ -291,7 +308,11 @@ func (b *Bonsai) writeBackCounterVictim(v *cache.Victim) {
 	if !v.Dirty {
 		return
 	}
+	start := b.now
 	b.now = b.dev.Push(nvm.PendingWrite{Region: nvm.RegionCounter, Index: v.Key, Block: v.Data}, b.now)
+	if b.probe != nil {
+		b.probe.Event(obs.EvEviction, start, b.now, v.Key)
+	}
 }
 
 // shadowCounterSlot persists an SCT entry (Figure 6): slot -> page.
@@ -334,15 +355,19 @@ func (b *Bonsai) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 	// nothing in it writes the data region.
 	start := b.now
 	phys := b.wl.phys(idx)
-	ct, has, dataDone := b.dev.ReadAtPtr(nvm.RegionData, phys, start)
+	// Quiet read: the fetch overlaps the (attributed) metadata walk, so
+	// only the visible residual below is charged, as data_read.
+	ct, has, dataDone := b.dev.ReadAtPtrQuiet(nvm.RegionData, phys, start)
 	line, err := b.getCounterBlock(page)
 	if err != nil {
 		return zero, err
 	}
 	if dataDone > b.now {
+		b.dev.Attr().Add(obs.CompDataRead, dataDone-b.now)
 		b.now = dataDone
 	}
 	b.now += b.cfg.HashNS // MAC verification (path verifications overlap)
+	b.dev.Attr().Add(obs.CompCrypto, b.cfg.HashNS)
 
 	if !has {
 		return zero, nil // never written: logical zeros
@@ -447,6 +472,7 @@ func (b *Bonsai) WriteBlock(idx uint64, data [BlockBytes]byte) error {
 	b.pending = append(b.pending, nvm.PendingWrite{RegName: regBonsaiRoot, Block: rootBlk})
 
 	b.now += b.cfg.HashNS // pipelined encrypt+MAC engine occupancy
+	b.dev.Attr().Add(obs.CompCrypto, b.cfg.HashNS)
 	b.commitPending()
 	b.now = b.wl.recordWrite(b.now)
 	return nil
@@ -493,6 +519,7 @@ func (b *Bonsai) updateTreePath(page uint64, counterBlock [BlockBytes]byte) erro
 // new major counter, and the counter block is force-persisted.
 func (b *Bonsai) reencryptPage(page uint64, old, fresh *counter.Split) error {
 	b.stats.PageOverflows++
+	ovStart := b.now
 	base := page * counter.SplitMinors
 	for lane := 0; lane < counter.SplitMinors; lane++ {
 		idx := base + uint64(lane)
@@ -518,6 +545,9 @@ func (b *Bonsai) reencryptPage(page uint64, old, fresh *counter.Split) error {
 	b.updateCount.Set(page, 0)
 	b.stats.StopLossWrites++
 	b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionCounter, Index: page, Block: fresh.Pack()})
+	if b.probe != nil {
+		b.probe.Event(obs.EvOverflow, ovStart, b.now, page)
+	}
 	return nil
 }
 
@@ -537,8 +567,12 @@ func (b *Bonsai) commitPending() {
 	for _, w := range b.pending {
 		b.dev.Stage(w)
 	}
+	start, n := b.now, uint64(len(b.pending))
 	b.now = b.dev.CommitGroup(b.now)
 	b.pending = b.pending[:0]
+	if b.probe != nil {
+		b.probe.Event(obs.EvCommit, start, b.now, n)
+	}
 }
 
 // --- lifecycle -------------------------------------------------------------------

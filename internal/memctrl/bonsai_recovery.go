@@ -8,6 +8,7 @@ import (
 	"anubis/internal/ecc"
 	"anubis/internal/merkle"
 	"anubis/internal/nvm"
+	"anubis/internal/obs"
 	"anubis/internal/shadow"
 )
 
@@ -22,6 +23,14 @@ import (
 //     tracked counters, recompute only tracked tree nodes level by
 //     level, then compare the resulting root with the on-chip root.
 func (b *Bonsai) Recover() (*RecoveryReport, error) {
+	rep, err := b.doRecover()
+	if b.probe != nil && rep != nil {
+		b.probe.Event(obs.EvRecovery, b.now, b.now+rep.ModeledNS(), rep.FetchOps+rep.CryptoOps)
+	}
+	return rep, err
+}
+
+func (b *Bonsai) doRecover() (*RecoveryReport, error) {
 	rep := &RecoveryReport{Scheme: b.cfg.Scheme}
 	rep.RedoneWrites = b.dev.RedoCommitted()
 

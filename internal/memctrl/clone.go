@@ -53,6 +53,10 @@ func (b *Bonsai) Clone() Controller {
 	n.defNodeHash = append([]uint64(nil), b.defNodeHash...)
 	n.wl = b.wl.clone(n.dev)
 	n.pending = append([]nvm.PendingWrite(nil), b.pending...)
+	// Probes are per-controller observers (a trace Scope's sampling
+	// counter is not goroutine-safe); clones start unobserved and the
+	// caller attaches its own probe if it wants one.
+	n.probe = nil
 	return n
 }
 
@@ -73,5 +77,6 @@ func (c *SGX) Clone() Controller {
 	n.wl = c.wl.clone(n.dev)
 	n.pending = append([]nvm.PendingWrite(nil), c.pending...)
 	n.wbq = append([]cache.Victim(nil), c.wbq...)
+	n.probe = nil // see Bonsai.Clone
 	return n
 }

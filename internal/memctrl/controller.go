@@ -24,6 +24,7 @@ import (
 
 	"anubis/internal/cache"
 	"anubis/internal/nvm"
+	"anubis/internal/obs"
 )
 
 // BlockBytes is the data access granularity (one cache line).
@@ -74,6 +75,21 @@ const (
 	// tests — and recovery still costs a whole-memory tree rebuild.
 	SchemeSelective
 )
+
+// MarshalText renders the scheme name, so JSON reports and scheme-keyed
+// maps say "agit-plus" instead of enum ordinals.
+func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a scheme name produced by String.
+func (s *Scheme) UnmarshalText(b []byte) error {
+	for c := SchemeWriteBack; c <= SchemeSelective; c++ {
+		if c.String() == string(b) {
+			*s = c
+			return nil
+		}
+	}
+	return fmt.Errorf("memctrl: unknown scheme %q", b)
+}
 
 func (s Scheme) String() string {
 	switch s {
@@ -237,39 +253,46 @@ var ErrNotRecoverable = errors.New("memctrl: scheme does not support recovery")
 
 // RunStats aggregates a controller's run-time activity.
 type RunStats struct {
-	ReadRequests  uint64
-	WriteRequests uint64
+	ReadRequests  uint64 `json:"read_requests"`
+	WriteRequests uint64 `json:"write_requests"`
 
 	// ShadowWrites counts NVM writes into SCT/SMT/ST regions.
-	ShadowWrites uint64
+	ShadowWrites uint64 `json:"shadow_writes"`
 	// StopLossWrites counts counter blocks persisted by the stop-loss rule.
-	StopLossWrites uint64
+	StopLossWrites uint64 `json:"stop_loss_writes"`
 	// StrictWrites counts metadata blocks persisted by strict persistence.
-	StrictWrites uint64
+	StrictWrites uint64 `json:"strict_writes"`
 	// PageOverflows counts split-counter page re-encryptions.
-	PageOverflows uint64
+	PageOverflows uint64 `json:"page_overflows"`
 
-	NVM nvm.Stats
+	NVM nvm.Stats `json:"nvm"`
 
-	CounterCache cache.Stats
-	TreeCache    cache.Stats // combined metadata cache for SGX family
+	CounterCache cache.Stats `json:"counter_cache"`
+	TreeCache    cache.Stats `json:"tree_cache"` // combined metadata cache for SGX family
+
+	// Attribution decomposes every nanosecond of controller virtual time
+	// into named stall components (cpu gap, bank busy, WPQ stall, counter
+	// and tree fills, crypto, shadow writes). The components sum exactly
+	// to the controller clock — the sum-exact invariant the attribution
+	// tests assert.
+	Attribution obs.Ledger `json:"attribution_ns"`
 }
 
 // RecoveryReport describes a completed (or failed) recovery.
 type RecoveryReport struct {
-	Scheme Scheme
+	Scheme Scheme `json:"scheme"`
 
 	// FetchOps counts 64-byte blocks fetched from NVM during recovery;
 	// CryptoOps counts hash/decrypt+check operations. The paper's model
 	// prices recovery at 100 ns per op (footnote 1 / §6.3.1).
-	FetchOps  uint64
-	CryptoOps uint64
+	FetchOps  uint64 `json:"fetch_ops"`
+	CryptoOps uint64 `json:"crypto_ops"`
 
-	CountersFixed  uint64 // encryption counters repaired (Osiris trials)
-	NodesRebuilt   uint64 // tree nodes recomputed (AGIT) or spliced (ASIT)
-	EntriesScanned uint64 // shadow table entries visited
+	CountersFixed  uint64 `json:"counters_fixed"`  // encryption counters repaired (Osiris trials)
+	NodesRebuilt   uint64 `json:"nodes_rebuilt"`   // tree nodes recomputed (AGIT) or spliced (ASIT)
+	EntriesScanned uint64 `json:"entries_scanned"` // shadow table entries visited
 
-	RedoneWrites int // commit-group writes replayed via DONE_BIT
+	RedoneWrites int `json:"redone_writes"` // commit-group writes replayed via DONE_BIT
 }
 
 // OpNS is the paper's per-operation recovery cost model (100 ns per

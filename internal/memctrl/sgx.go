@@ -10,6 +10,7 @@ import (
 	"anubis/internal/ecc"
 	"anubis/internal/merkle"
 	"anubis/internal/nvm"
+	"anubis/internal/obs"
 	"anubis/internal/shadow"
 )
 
@@ -67,6 +68,9 @@ type SGX struct {
 	now     uint64
 	stats   RunStats
 	crashed bool
+
+	// probe observes simulation events; nil by default (see Bonsai.probe).
+	probe obs.Probe
 
 	pending []nvm.PendingWrite
 	// wbq is the volatile writeback buffer: dirty victims wait here
@@ -340,6 +344,11 @@ func (c *SGX) writeBackVictim(v *cache.Victim) error {
 	g.MAC = c.eng.SGXMAC(c.addrOf(r), g.Ctr[:], newParentCtr)
 	region, idx := c.regionIdx(r)
 	c.pending = append(c.pending, nvm.PendingWrite{Region: region, Index: idx, Block: g.Pack()})
+	if c.probe != nil {
+		// The write itself drains with the operation's commit group; the
+		// eviction is an instant at the decision point.
+		c.probe.Event(obs.EvEviction, c.now, c.now, v.Key)
+	}
 	// Under ASIT the victim's shadow entry is deliberately left in
 	// place: its MAC covers the full counter values, so recovering it
 	// onto the just-written-back copy reproduces the same state.
@@ -458,7 +467,9 @@ func (c *SGX) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 	// data-region writes.
 	start := c.now
 	phys := c.wl.phys(idx)
-	ct, has, dataDone := c.dev.ReadAtPtr(nvm.RegionData, phys, start)
+	// Quiet read: the fetch overlaps the (attributed) metadata walk, so
+	// only the visible residual below is charged, as data_read.
+	ct, has, dataDone := c.dev.ReadAtPtrQuiet(nvm.RegionData, phys, start)
 	line, err := c.getMeta(metaRef{isLeaf: true, idx: leaf})
 	if err != nil {
 		c.finishOp()
@@ -466,9 +477,11 @@ func (c *SGX) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 	}
 	g := counter.UnpackSGX(line.Data)
 	if dataDone > c.now {
+		c.dev.Attr().Add(obs.CompDataRead, dataDone-c.now)
 		c.now = dataDone
 	}
 	c.now += c.cfg.HashNS
+	c.dev.Attr().Add(obs.CompCrypto, c.cfg.HashNS)
 	if err := c.finishOp(); err != nil {
 		return zero, err
 	}
@@ -555,6 +568,7 @@ func (c *SGX) WriteBlock(idx uint64, data [BlockBytes]byte) error {
 	c.pending = append(c.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: c.wl.phys(idx), Block: ctBlk, HasSide: true, Side: side})
 
 	c.now += c.cfg.HashNS
+	c.dev.Attr().Add(obs.CompCrypto, c.cfg.HashNS)
 	if err := c.finishOp(); err != nil {
 		return err
 	}
@@ -644,8 +658,12 @@ func (c *SGX) commitPending() {
 	for _, w := range c.pending {
 		c.dev.Stage(w)
 	}
+	start, n := c.now, uint64(len(c.pending))
 	c.now = c.dev.CommitGroup(c.now)
 	c.pending = c.pending[:0]
+	if c.probe != nil {
+		c.probe.Event(obs.EvCommit, start, c.now, n)
+	}
 }
 
 // --- lifecycle ----------------------------------------------------------------------
@@ -721,17 +739,23 @@ func (c *SGX) Device() *nvm.Device { return c.dev }
 // Now returns the controller's virtual time.
 func (c *SGX) Now() uint64 { return c.now }
 
-// AdvanceTo moves virtual time forward.
+// AdvanceTo moves virtual time forward (CPU think time between
+// requests, attributed as cpu_gap).
 func (c *SGX) AdvanceTo(t uint64) {
 	if t > c.now {
+		c.dev.Attr().Add(obs.CompCPUGap, t-c.now)
 		c.now = t
 	}
 }
+
+// SetProbe attaches (or detaches, with nil) an event probe.
+func (c *SGX) SetProbe(p obs.Probe) { c.probe = p }
 
 // Stats returns run-time statistics.
 func (c *SGX) Stats() RunStats {
 	s := c.stats
 	s.NVM = c.dev.Stats()
 	s.TreeCache = c.mCache.Stats()
+	s.Attribution = *c.dev.Attr()
 	return s
 }

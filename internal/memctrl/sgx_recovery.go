@@ -6,6 +6,7 @@ import (
 	"anubis/internal/counter"
 	"anubis/internal/merkle"
 	"anubis/internal/nvm"
+	"anubis/internal/obs"
 	"anubis/internal/shadow"
 )
 
@@ -22,6 +23,14 @@ import (
 //     onto its stale NVM copy, re-insert the result dirty, and verify
 //     every recovered node's MAC against its parent counter.
 func (c *SGX) Recover() (*RecoveryReport, error) {
+	rep, err := c.doRecover()
+	if c.probe != nil && rep != nil {
+		c.probe.Event(obs.EvRecovery, c.now, c.now+rep.ModeledNS(), rep.FetchOps+rep.CryptoOps)
+	}
+	return rep, err
+}
+
+func (c *SGX) doRecover() (*RecoveryReport, error) {
 	rep := &RecoveryReport{Scheme: c.cfg.Scheme}
 	rep.RedoneWrites = c.dev.RedoCommitted()
 

@@ -26,7 +26,11 @@
 // package and are dropped by their owners).
 package nvm
 
-import "fmt"
+import (
+	"fmt"
+
+	"anubis/internal/obs"
+)
 
 // BlockBytes is the device block (cache line) size.
 const BlockBytes = 64
@@ -69,6 +73,30 @@ func (r Region) String() string {
 	return fmt.Sprintf("region(%d)", uint8(r))
 }
 
+// readComp maps a region to the stall-attribution component charged for
+// a timed media read of that region: data fetches, counter-cache fills,
+// tree-node fills, and shadow-table traffic each get their own bucket.
+var readComp = [numRegions]obs.Comp{
+	RegionData:    obs.CompDataRead,
+	RegionCounter: obs.CompCounterFill,
+	RegionTree:    obs.CompTreeFill,
+	RegionSCT:     obs.CompShadow,
+	RegionSMT:     obs.CompShadow,
+	RegionST:      obs.CompShadow,
+}
+
+// pushComp maps a region to the component charged for WPQ back-pressure
+// stalls while pushing a write to it: shadow-table writes are the AGIT/
+// ASIT run-time cost the paper isolates, everything else is generic WPQ
+// pressure.
+func pushComp(r Region) obs.Comp {
+	switch r {
+	case RegionSCT, RegionSMT, RegionST:
+		return obs.CompShadow
+	}
+	return obs.CompWPQStall
+}
+
 // Sideband is the per-data-block DIMM sideband: the SECDED check bytes
 // and the Bonsai data MAC, transferred together with the 64-byte block
 // (the Synergy layout the paper and Osiris assume). Phase optionally
@@ -106,12 +134,12 @@ func DefaultTiming() Timing {
 
 // Stats accumulates device activity.
 type Stats struct {
-	Reads          uint64
-	Writes         uint64
-	WritesByRegion [numRegions]uint64
-	ReadsByRegion  [numRegions]uint64
-	WPQStallNS     uint64 // time callers spent waiting for a WPQ slot
-	DrainStallNS   uint64 // time reads spent blocked by write-drain mode
+	Reads          uint64             `json:"reads"`
+	Writes         uint64             `json:"writes"`
+	WritesByRegion [numRegions]uint64 `json:"writes_by_region"`
+	ReadsByRegion  [numRegions]uint64 `json:"reads_by_region"`
+	WPQStallNS     uint64             `json:"wpq_stall_ns"`   // time callers spent waiting for a WPQ slot
+	DrainStallNS   uint64             `json:"drain_stall_ns"` // time reads spent blocked by write-drain mode
 }
 
 // WritesTo returns the write count for one region.
@@ -145,6 +173,13 @@ type Device struct {
 	wpq      wpqRing  // completion times of writes still occupying the WPQ
 
 	stats Stats
+	// att decomposes every nanosecond of caller-visible latency the
+	// device hands out (read completion deltas, WPQ stalls) into named
+	// components. Plain uint64 adds on the hot path: always on, never
+	// branching simulation behaviour, zero allocations. Controllers add
+	// their own components (cpu gap, crypto, overlapped-read residual)
+	// through Attr so one ledger carries the whole clock decomposition.
+	att obs.Ledger
 
 	// Two-stage commit state (persistent; survives Crash).
 	staged  []PendingWrite
@@ -197,9 +232,19 @@ func (d *Device) Timing() Timing { return d.timing }
 // Stats returns a snapshot of accumulated statistics.
 func (d *Device) Stats() Stats { return d.stats }
 
-// ResetStats zeroes the accumulated statistics (e.g. after controller
-// initialization, so measurements cover only the workload).
-func (d *Device) ResetStats() { d.stats = Stats{} }
+// ResetStats zeroes the accumulated statistics and the stall-attribution
+// ledger (e.g. after controller initialization, so measurements cover
+// only the workload).
+func (d *Device) ResetStats() {
+	d.stats = Stats{}
+	d.att = obs.Ledger{}
+}
+
+// Attr exposes the device's stall-attribution ledger. The device adds
+// media/queueing components; its controller adds the controller-side
+// ones, so the ledger's total tracks the controller clock exactly (the
+// sum-exact invariant the attribution tests assert).
+func (d *Device) Attr() *obs.Ledger { return &d.att }
 
 func (d *Device) bankOf(r Region, idx uint64) int {
 	h := (idx ^ uint64(r)<<40) * 0x9e3779b97f4a7c15
@@ -208,8 +253,12 @@ func (d *Device) bankOf(r Region, idx uint64) int {
 
 // readClock advances the device's read-side clocks for a request
 // arriving at now: drain-watermark blocking, then bank occupancy. It
-// returns the completion time.
-func (d *Device) readClock(r Region, idx uint64, now uint64) uint64 {
+// returns the completion time. With attr set, the wait/transfer splits
+// are charged to the attribution ledger — callers that adopt the
+// returned completion time use the attributing form; overlapped reads
+// (whose latency is partially hidden behind other work) use the quiet
+// form and charge only the visible residual themselves.
+func (d *Device) readClock(r Region, idx uint64, now uint64, attr bool) uint64 {
 	start := now
 	if wm := d.timing.DrainWatermark; wm > 0 {
 		d.wpq.prune(now)
@@ -219,15 +268,24 @@ func (d *Device) readClock(r Region, idx uint64, now uint64) uint64 {
 			t := d.wpq.kth(excess)
 			if t > start {
 				d.stats.DrainStallNS += t - start
+				if attr {
+					d.att[obs.CompDrainStall] += t - start
+				}
 				start = t
 			}
 		}
 	}
 	b := d.bankOf(r, idx)
 	if d.bankFree[b] > start {
+		if attr {
+			d.att[obs.CompBankBusy] += d.bankFree[b] - start
+		}
 		start = d.bankFree[b]
 	}
 	done := start + d.timing.ReadNS
+	if attr {
+		d.att[readComp[r]] += d.timing.ReadNS
+	}
 	d.bankFree[b] = done
 	return done
 }
@@ -249,7 +307,20 @@ func (d *Device) ReadAt(r Region, idx uint64, now uint64) ([BlockBytes]byte, uin
 func (d *Device) ReadAtPtr(r Region, idx uint64, now uint64) (*[BlockBytes]byte, bool, uint64) {
 	d.stats.Reads++
 	d.stats.ReadsByRegion[r]++
-	done := d.readClock(r, idx, now)
+	done := d.readClock(r, idx, now, true)
+	blk, ok := d.store[r].blockPtr(idx)
+	return blk, ok, done
+}
+
+// ReadAtPtrQuiet is ReadAtPtr without attribution: identical timing and
+// stats, but nothing is charged to the stall ledger. Controllers use it
+// for reads whose latency overlaps other attributed work (the data
+// fetch issued alongside the metadata walk) and charge only the
+// visible residual themselves, keeping the ledger sum-exact.
+func (d *Device) ReadAtPtrQuiet(r Region, idx uint64, now uint64) (*[BlockBytes]byte, bool, uint64) {
+	d.stats.Reads++
+	d.stats.ReadsByRegion[r]++
+	done := d.readClock(r, idx, now, false)
 	blk, ok := d.store[r].blockPtr(idx)
 	return blk, ok, done
 }
@@ -298,6 +369,7 @@ func (d *Device) Push(w PendingWrite, now uint64) uint64 {
 		// Stall until the earliest queued write completes.
 		earliest := d.wpq.min()
 		d.stats.WPQStallNS += earliest - now
+		d.att[pushComp(w.Region)] += earliest - now
 		now = earliest
 		d.wpq.prune(now)
 	}
@@ -628,6 +700,7 @@ func (d *Device) Fork() *Device {
 		ports:         d.ports.clone(),
 		wpq:           d.wpq.clone(),
 		stats:         d.stats,
+		att:           d.att,
 		staged:        append([]PendingWrite(nil), d.staged...),
 		doneBit:       d.doneBit,
 		pushBudget:    d.pushBudget,

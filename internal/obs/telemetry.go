@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Telemetry publishes a registry over HTTP while a sweep or fuzz
+// campaign runs. The hot path never touches it: workers report at cell
+// (or trial) granularity through Update, which takes the mutex; the
+// HTTP handlers take the same mutex only while rendering a snapshot.
+//
+// Endpoints:
+//
+//	/metrics — Prometheus text exposition (plus process gauges:
+//	           heap bytes, goroutines, uptime) for scraping.
+//	/vars    — expvar-style JSON snapshot of every metric + memstats.
+//	/        — tiny index page.
+type Telemetry struct {
+	mu    sync.Mutex
+	reg   *Registry
+	start time.Time
+}
+
+// NewTelemetry returns an empty live-telemetry publisher.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{reg: NewRegistry(), start: time.Now()}
+}
+
+// Update runs f against the published registry under the lock. Callers
+// report coarse progress (one call per completed simulation cell or
+// fuzz trial), so contention is negligible.
+func (t *Telemetry) Update(f func(r *Registry)) {
+	t.mu.Lock()
+	f(t.reg)
+	t.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler.
+func (t *Telemetry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	switch req.URL.Path {
+	case "/metrics":
+		t.serveMetrics(w)
+	case "/vars", "/debug/vars":
+		t.serveVars(w)
+	case "/":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "anubis telemetry: /metrics (Prometheus), /vars (JSON)")
+	default:
+		http.NotFound(w, req)
+	}
+}
+
+// processGauges adds point-in-time process stats to a registry copy.
+func (t *Telemetry) processGauges(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("anubis_heap_alloc_bytes", float64(ms.HeapAlloc))
+	r.Gauge("anubis_heap_sys_bytes", float64(ms.HeapSys))
+	r.Gauge("anubis_gc_cycles_total", float64(ms.NumGC))
+	r.Gauge("anubis_goroutines", float64(runtime.NumGoroutine()))
+	r.Gauge("anubis_uptime_seconds", time.Since(t.start).Seconds())
+}
+
+func (t *Telemetry) serveMetrics(w http.ResponseWriter) {
+	t.mu.Lock()
+	snap := NewRegistry()
+	snap.Merge(t.reg)
+	t.mu.Unlock()
+	t.processGauges(snap)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.WritePrometheus(w)
+}
+
+func (t *Telemetry) serveVars(w http.ResponseWriter) {
+	t.mu.Lock()
+	vars := t.reg.Snapshot()
+	t.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	vars["heap_alloc_bytes"] = float64(ms.HeapAlloc)
+	vars["goroutines"] = float64(runtime.NumGoroutine())
+	vars["uptime_seconds"] = time.Since(t.start).Seconds()
+
+	// Deterministic key order for readable diffs.
+	names := make([]string, 0, len(vars))
+	for k := range vars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, "{")
+	for i, k := range names {
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		kb, _ := json.Marshal(k)
+		fmt.Fprintf(w, "  %s: %s%s\n", kb, formatFloat(vars[k]), comma)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// Serve starts the telemetry HTTP server on addr (e.g. ":9090" or
+// "127.0.0.1:0") in a background goroutine and returns the bound
+// address. The listener lives until the process exits — these are
+// CLI-lifetime diagnostics, not a managed service.
+func Serve(addr string, t *Telemetry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: t, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	return res.StatusCode, string(body), res.Header.Get("Content-Type")
+}
+
+func TestTelemetryMetricsEndpoint(t *testing.T) {
+	tel := NewTelemetry()
+	tel.Update(func(r *Registry) {
+		r.Counter("anubis_cells_completed_total", 3)
+		var l Ledger
+		l.Add(CompCrypto, 42)
+		r.MergeLedger("anubis_stall_ns_total", &l)
+	})
+	code, body, ct := get(t, tel, "/metrics")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(body, "anubis_cells_completed_total 3") {
+		t.Fatalf("counter missing:\n%s", body)
+	}
+	if !strings.Contains(body, `anubis_stall_ns_total{component="crypto"} 42`) {
+		t.Fatalf("stall counter missing:\n%s", body)
+	}
+	// Process gauges are stamped at render time.
+	for _, g := range []string{"anubis_heap_alloc_bytes", "anubis_goroutines", "anubis_uptime_seconds"} {
+		if !strings.Contains(body, g) {
+			t.Fatalf("process gauge %s missing:\n%s", g, body)
+		}
+	}
+	// Serving must not mutate the published registry.
+	tel.Update(func(r *Registry) {
+		if v := r.GaugeValue("anubis_goroutines"); v != 0 {
+			t.Fatalf("process gauge leaked into published registry: %v", v)
+		}
+	})
+}
+
+func TestTelemetryVarsEndpoint(t *testing.T) {
+	tel := NewTelemetry()
+	tel.Update(func(r *Registry) {
+		r.Counter("trials_total", 9)
+		r.Observe("trial_wall_ns", 128)
+	})
+	for _, path := range []string{"/vars", "/debug/vars"} {
+		code, body, ct := get(t, tel, path)
+		if code != 200 {
+			t.Fatalf("%s status %d", path, code)
+		}
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s content type %q", path, ct)
+		}
+		var m map[string]float64
+		if err := json.Unmarshal([]byte(body), &m); err != nil {
+			t.Fatalf("%s invalid JSON: %v\n%s", path, err, body)
+		}
+		if m["trials_total"] != 9 {
+			t.Fatalf("trials_total = %v", m["trials_total"])
+		}
+		if m["trial_wall_ns_count"] != 1 {
+			t.Fatalf("hist count = %v", m["trial_wall_ns_count"])
+		}
+		if _, ok := m["uptime_seconds"]; !ok {
+			t.Fatalf("%s missing uptime_seconds: %v", path, m)
+		}
+	}
+}
+
+func TestTelemetryIndexAnd404(t *testing.T) {
+	tel := NewTelemetry()
+	if code, body, _ := get(t, tel, "/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	if code, _, _ := get(t, tel, "/nope"); code != 404 {
+		t.Fatalf("want 404, got %d", code)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	tel := NewTelemetry()
+	tel.Update(func(r *Registry) { r.Counter("x_total", 1) })
+	addr, err := Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "x_total 1") {
+		t.Fatalf("live serve: %d\n%s", resp.StatusCode, body)
+	}
+}

@@ -132,6 +132,17 @@ func testSteadyStateZeroAllocs(t *testing.T, derive func(memctrl.Controller) mem
 			if perReq := avg / 50; perReq > 0.02 {
 				t.Errorf("steady-state Run: %.3f allocs/request, want 0", perReq)
 			}
+			// The probe-disabled observed path must be exactly as free:
+			// a nil probe is one predictable branch per request, and the
+			// always-on attribution ledger is plain uint64 adds.
+			avg = testing.AllocsPerRun(50, func() {
+				if _, err := RunObserved(ctrl, gen, 50, nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if perReq := avg / 50; perReq > 0.02 {
+				t.Errorf("steady-state RunObserved(nil): %.3f allocs/request, want 0", perReq)
+			}
 		})
 	}
 }

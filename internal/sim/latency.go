@@ -7,15 +7,15 @@ import (
 )
 
 // LatencyHist is a power-of-two-bucketed latency histogram: bucket i
-// counts request latencies in [2^i, 2^(i+1)) nanoseconds (bucket 0 also
-// absorbs zero-latency completions). Percentiles are approximated by
-// the geometric midpoint of the containing bucket, which is plenty for
-// comparing schemes.
+// (i >= 1) counts request latencies in [2^(i-1), 2^i) nanoseconds, and
+// bucket 0 counts zero-latency completions. Percentiles are
+// approximated by the geometric midpoint of the containing bucket,
+// which is plenty for comparing schemes.
 type LatencyHist struct {
-	Buckets [40]uint64
-	Count   uint64
-	Sum     uint64
-	Max     uint64
+	Buckets [40]uint64 `json:"buckets"`
+	Count   uint64     `json:"count"`
+	Sum     uint64     `json:"sum_ns"`
+	Max     uint64     `json:"max_ns"`
 }
 
 // Add records one latency sample.

@@ -14,22 +14,25 @@ import (
 	"fmt"
 
 	"anubis/internal/memctrl"
+	"anubis/internal/obs"
 	"anubis/internal/trace"
 )
 
-// Result summarizes one simulation run.
+// Result summarizes one simulation run. The JSON field names are part
+// of the stable report schema documented in EXPERIMENTS.md — rename
+// only with a schema_version bump in cmd/anubis-bench.
 type Result struct {
-	Workload string
-	Scheme   memctrl.Scheme
-	Family   Family
-	Requests int
-	ExecNS   uint64
-	Stats    memctrl.RunStats
+	Workload string           `json:"workload"`
+	Scheme   memctrl.Scheme   `json:"scheme"`
+	Family   Family           `json:"family"`
+	Requests int              `json:"requests"`
+	ExecNS   uint64           `json:"exec_ns"`
+	Stats    memctrl.RunStats `json:"stats"`
 
 	// ReadLat and WriteLat are per-request latency histograms: reads
 	// measure issue-to-data-verified, writes issue-to-persist-accepted.
-	ReadLat  LatencyHist
-	WriteLat LatencyHist
+	ReadLat  LatencyHist `json:"read_latency"`
+	WriteLat LatencyHist `json:"write_latency"`
 }
 
 // Normalized returns this run's execution time relative to a baseline
@@ -73,28 +76,71 @@ func (r Result) WritesPerRequest() float64 {
 // profiles with larger footprints than the simulated memory still run
 // (with correspondingly reduced locality).
 func Run(ctrl memctrl.Controller, gen trace.Source, nReq int) (Result, error) {
+	return RunObserved(ctrl, gen, nReq, nil)
+}
+
+// probeSetter is implemented by controllers that accept an event probe.
+// It is matched by type assertion rather than widening the Controller
+// interface, so third-party controllers need not implement it.
+type probeSetter interface{ SetProbe(obs.Probe) }
+
+// RunObserved is Run with an optional event probe: each completed
+// request is reported with its per-component latency attribution, and
+// the controller (when it supports SetProbe) reports structural events
+// — evictions, commit-group drains, page overflows — to the same probe.
+// A nil probe makes RunObserved behave exactly like Run: the hot loop
+// takes one predictable branch per request and allocates nothing, and
+// simulated timing is byte-identical either way (probes only ever
+// receive completed facts).
+func RunObserved(ctrl memctrl.Controller, gen trace.Source, nReq int, probe obs.Probe) (Result, error) {
 	res := Result{Workload: gen.Name(), Scheme: ctrl.Scheme(), Family: FamilyOf(ctrl), Requests: nReq}
 	nBlocks := ctrl.NumBlocks()
+	if probe != nil {
+		if ps, ok := ctrl.(probeSetter); ok {
+			ps.SetProbe(probe)
+			defer ps.SetProbe(nil)
+		}
+	}
+	att := ctrl.Device().Attr()
 	// One scratch block for the whole run: fill overwrites all 64 bytes
 	// per write request, so re-zeroing a fresh array every iteration
 	// (the old per-iteration `var data`) was pure waste on the hot loop.
 	var data [memctrl.BlockBytes]byte
+	// snap/delta are heap state for the probe path only: &delta crosses
+	// the Probe interface boundary, so a plain stack var would escape —
+	// and be allocated — even on probe-free runs. Two fixed allocations
+	// when observing, zero when not.
+	var snap, delta *obs.Ledger
+	if probe != nil {
+		snap, delta = new(obs.Ledger), new(obs.Ledger)
+	}
 	for i := 0; i < nReq; i++ {
 		req := gen.Next()
 		ctrl.AdvanceTo(ctrl.Now() + req.GapNS)
 		addr := req.Block % nBlocks
 		issue := ctrl.Now()
+		if probe != nil {
+			*snap = *att
+		}
 		if req.Op == trace.OpWrite {
 			FillBlock(&data, req.Block, uint64(i))
 			if err := ctrl.WriteBlock(addr, data); err != nil {
 				return res, fmt.Errorf("sim: request %d (write %d): %w", i, addr, err)
 			}
 			res.WriteLat.Add(ctrl.Now() - issue)
+			if probe != nil {
+				*delta = att.Since(snap)
+				probe.Request(obs.EvWriteReq, addr, issue, ctrl.Now(), delta)
+			}
 		} else {
 			if _, err := ctrl.ReadBlock(addr); err != nil {
 				return res, fmt.Errorf("sim: request %d (read %d): %w", i, addr, err)
 			}
 			res.ReadLat.Add(ctrl.Now() - issue)
+			if probe != nil {
+				*delta = att.Since(snap)
+				probe.Request(obs.EvReadReq, addr, issue, ctrl.Now(), delta)
+			}
 		}
 	}
 	res.ExecNS = ctrl.Now()
@@ -134,6 +180,23 @@ func (f Family) String() string {
 		return "sgx"
 	}
 	return "bonsai"
+}
+
+// MarshalText renders the family name, so JSON reports say "bonsai"
+// and "sgx" instead of enum ordinals.
+func (f Family) MarshalText() ([]byte, error) { return []byte(f.String()), nil }
+
+// UnmarshalText parses a family name.
+func (f *Family) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "bonsai":
+		*f = FamilyBonsai
+	case "sgx":
+		*f = FamilySGX
+	default:
+		return fmt.Errorf("sim: unknown family %q", b)
+	}
+	return nil
 }
 
 // FamilyOf reports which controller family a controller belongs to.

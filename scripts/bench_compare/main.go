@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // figureTiming mirrors cmd/anubis-bench's report entry (decoded
@@ -29,12 +30,19 @@ type figureTiming struct {
 }
 
 type report struct {
-	Timestamp   string         `json:"timestamp"`
-	GoVersion   string         `json:"go_version"`
-	Parallel    int            `json:"parallel"`
-	TotalWallMS float64        `json:"total_wall_ms"`
-	TotalCells  int            `json:"total_cells"`
-	Figures     []figureTiming `json:"figures"`
+	SchemaVersion int            `json:"schema_version"`
+	Timestamp     string         `json:"timestamp"`
+	GoVersion     string         `json:"go_version"`
+	Parallel      int            `json:"parallel"`
+	TotalWallMS   float64        `json:"total_wall_ms"`
+	TotalCells    int            `json:"total_cells"`
+	Figures       []figureTiming `json:"figures"`
+
+	// Attribution (schema_version >= 2): per-component stall ledger in
+	// simulated nanoseconds, summed over all cells; RequestsSimulated
+	// normalizes it to ns/request for scale-independent comparison.
+	Attribution       map[string]uint64 `json:"attribution_ns"`
+	RequestsSimulated uint64            `json:"requests_simulated"`
 }
 
 func load(path string) (*report, error) {
@@ -52,6 +60,10 @@ func load(path string) (*report, error) {
 func main() {
 	maxRegress := flag.Float64("max-regress", 0,
 		"fail (exit 1) if any shared figure regresses by more than this percent (0 = report only)")
+	maxAttrRegress := flag.Float64("max-attr-regress", 0,
+		"fail (exit 1) if any stall component's simulated ns/request grows by more than this percent (0 = report only); simulated time is deterministic, so tight thresholds are safe")
+	minAttrNS := flag.Float64("min-attr-ns", 1.0,
+		"ignore attribution components below this many ns/request in both reports (relative drift on near-zero components is noise)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: bench_compare [-max-regress pct] OLD.json NEW.json")
@@ -101,13 +113,65 @@ func main() {
 	}
 
 	fmt.Printf("\n  %-28s %12.1f %12.1f\n", "total", oldRep.TotalWallMS, newRep.TotalWallMS)
-	if shared == 0 {
+
+	worstAttr := compareAttribution(oldRep, newRep, *minAttrNS)
+
+	if shared == 0 && len(oldRep.Attribution) == 0 {
 		fmt.Println("no shared figures; nothing to compare")
 		return
 	}
+	failed := false
 	if *maxRegress > 0 && worst > *maxRegress {
-		fmt.Fprintf(os.Stderr, "bench_compare: worst regression %.1f%% exceeds -max-regress %.1f%%\n",
+		fmt.Fprintf(os.Stderr, "bench_compare: worst wall regression %.1f%% exceeds -max-regress %.1f%%\n",
 			worst, *maxRegress)
+		failed = true
+	}
+	if *maxAttrRegress > 0 && worstAttr > *maxAttrRegress {
+		fmt.Fprintf(os.Stderr, "bench_compare: worst attribution regression %.1f%% exceeds -max-attr-regress %.1f%%\n",
+			worstAttr, *maxAttrRegress)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// compareAttribution diffs the per-component stall ledgers of two
+// reports, normalized to simulated ns per request, and returns the
+// worst percentage increase among components at or above floorNS in
+// either report. Reports lacking attribution (schema_version < 2, or
+// runs with no simulation cells) are skipped silently.
+func compareAttribution(oldRep, newRep *report, floorNS float64) float64 {
+	if len(oldRep.Attribution) == 0 || len(newRep.Attribution) == 0 ||
+		oldRep.RequestsSimulated == 0 || newRep.RequestsSimulated == 0 {
+		return 0
+	}
+	names := make([]string, 0, len(newRep.Attribution))
+	for name := range newRep.Attribution {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("\n  stall attribution (simulated ns/request; deterministic for a fixed seed)\n")
+	fmt.Printf("  %-28s %12s %12s %9s\n", "component", "old ns/req", "new ns/req", "delta")
+	worst := 0.0
+	for _, name := range names {
+		oldNS := float64(oldRep.Attribution[name]) / float64(oldRep.RequestsSimulated)
+		newNS := float64(newRep.Attribution[name]) / float64(newRep.RequestsSimulated)
+		if oldNS < floorNS && newNS < floorNS {
+			continue
+		}
+		delta := 0.0
+		switch {
+		case oldNS > 0:
+			delta = (newNS - oldNS) / oldNS * 100
+		case newNS > 0:
+			delta = 100 // component appeared from zero
+		}
+		if delta > worst {
+			worst = delta
+		}
+		fmt.Printf("  %-28s %12.1f %12.1f %+8.1f%%\n", name, oldNS, newNS, delta)
+	}
+	return worst
 }
