@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-smoke bench-device bench-json bench-tools fuzz-tools fuzz-smoke fuzz fmt clean
+.PHONY: all build vet test race verify bench bench-smoke bench-device bench-epoch bench-json bench-tools fuzz-tools fuzz-smoke fuzz fmt clean
 
 all: verify
 
@@ -37,13 +37,29 @@ bench-smoke:
 	$(GO) run ./cmd/anubis-bench -fig10 -fig11 -n 2000 \
 		-apps mcf,lbm,libquantum -parallel 4 -json results/
 
+# Epoch-pipeline smoke: the reduced fig10 sweep at coalescing window 1
+# must be byte-identical to the legacy eager path (window 0 — the
+# epoch<=1 bypass contract), and a real window must complete the same
+# sweep end to end. Wall-clock lines are stripped before comparing;
+# every simulated metric is exact.
+bench-epoch:
+	mkdir -p results
+	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
+		-parallel 1 -seed 99 -epoch 0 | grep -v 'ms wall' > results/epoch0.txt
+	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
+		-parallel 1 -seed 99 -epoch 1 | grep -v 'ms wall' > results/epoch1.txt
+	cmp results/epoch0.txt results/epoch1.txt
+	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
+		-parallel 1 -seed 99 -epoch 16 > /dev/null
+
 # PR-tracking benchmark record: the fixed suite matrix (quick + full
-# scale, sequential + parallel, forked-vs-cold recovery sweep) written
-# to results/BENCH_3.json. Compare against the previous PR's record:
-#   go run ./scripts/bench_compare results/BENCH_2.json results/BENCH_3.json
+# scale, sequential + parallel, epoch-pipeline sweep, forked-vs-cold
+# recovery sweep) written to results/BENCH_6.json. Compare against the
+# previous PR's record:
+#   go run ./scripts/bench_compare -epoch-sweep results/BENCH_3.json results/BENCH_6.json
 bench-json:
 	mkdir -p results
-	$(GO) run ./cmd/anubis-bench -suite -trials 50 -json results/BENCH_3.json
+	$(GO) run ./cmd/anubis-bench -suite -trials 50 -json results/BENCH_6.json
 
 # Build-only smoke: the suite driver and the comparison tool keep
 # compiling. Deliberately runs no benchmarks (wall-clock is too noisy

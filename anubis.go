@@ -244,6 +244,18 @@ func (s *System) ReadBlock(i uint64) ([]byte, error) {
 	return out, nil
 }
 
+// ReadBlockInto reads the verified plaintext of block i into dst,
+// avoiding ReadBlock's per-call allocation — the right call in batch
+// and hot-path code.
+func (s *System) ReadBlockInto(i uint64, dst *[BlockSize]byte) error {
+	blk, err := s.ctrl.ReadBlock(i)
+	if err != nil {
+		return err
+	}
+	*dst = blk
+	return nil
+}
+
 // WriteBlock encrypts and persists block i. data must be at most
 // BlockSize bytes; shorter slices are zero-padded.
 func (s *System) WriteBlock(i uint64, data []byte) error {
@@ -253,6 +265,27 @@ func (s *System) WriteBlock(i uint64, data []byte) error {
 	var blk [BlockSize]byte
 	copy(blk[:], data)
 	return s.ctrl.WriteBlock(i, blk)
+}
+
+// BlockWrite names one block update in a WriteBlocks batch.
+type BlockWrite struct {
+	Block uint64
+	Data  [BlockSize]byte
+}
+
+// WriteBlocks applies the batch in order, stopping at the first error
+// (earlier writes remain applied — identical semantics to issuing the
+// WriteBlock calls one by one). Batching exists for callers that want
+// one round trip — and, through SafeSystem, one lock acquisition — per
+// group of writes; with an epoch pipeline configured it also keeps a
+// burst inside as few coalescing windows as possible.
+func (s *System) WriteBlocks(writes []BlockWrite) error {
+	for _, w := range writes {
+		if err := s.ctrl.WriteBlock(w.Block, w.Data); err != nil {
+			return fmt.Errorf("anubis: batched write of block %d: %w", w.Block, err)
+		}
+	}
+	return nil
 }
 
 // ReadRange reads n bytes starting at byte offset off, spanning blocks.

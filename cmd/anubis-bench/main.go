@@ -63,7 +63,9 @@ func main() {
 			"run the PR-tracking benchmark matrix (quick+full scale, seq+parallel, forked-vs-cold recovery sweep) — see `make bench-json`")
 		trials = flag.Int("trials", 100,
 			"crash points per recovery sweep (forking a warm controller makes 10x the old per-trial-fill count affordable)")
-		n       = flag.Int("n", 40000, "requests per (app, scheme) simulation")
+		n     = flag.Int("n", 40000, "requests per (app, scheme) simulation")
+		epoch = flag.Int("epoch", 0,
+			"epoch pipeline window in write requests (coalesced integrity-tree updates); 0 or 1 = legacy eager path, byte-identical to pre-epoch builds")
 		mem     = flag.Uint64("mem", 256<<20, "simulated memory bytes for performance runs")
 		apps    = flag.String("apps", "", "comma-separated app subset (default: all 11)")
 		seed    = flag.Int64("seed", 99, "trace generator seed")
@@ -130,6 +132,7 @@ func main() {
 	rc.MemoryBytes = *mem
 	rc.Seed = *seed
 	rc.Parallel = *workers
+	rc.Epoch = *epoch
 	if *apps != "" {
 		rc.Apps = strings.Split(*apps, ",")
 	}

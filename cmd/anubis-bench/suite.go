@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 
 	"anubis/internal/figures"
 	"anubis/internal/memctrl"
@@ -84,6 +85,46 @@ func runSuite(rep *Report, out io.Writer, seed int64, trials int, hooks func(*fi
 			fmt.Fprintf(out, "%s: done\n", name)
 		}
 	}
+
+	// Epoch-pipeline sweep: the quick fig10 matrix at growing coalescing
+	// windows, sequential so the records are directly comparable run to
+	// run. epoch:1 is the determinism anchor — it must reproduce the
+	// legacy quick_seq:fig10 metrics exactly (the pipeline's epoch<=1
+	// bypass is byte-identical), which scripts/bench_compare's
+	// -epoch-sweep mode enforces; the larger windows track what the
+	// coalesced tree updates buy in simulated time (exec_ns_total).
+	for _, e := range []int{1, 4, 16, 64} {
+		erc := suiteQuick(seed)
+		erc.Parallel = 1
+		erc.Epoch = e
+		hooks(&erc)
+		var mu sync.Mutex
+		var execTotal uint64
+		inner := erc.OnCell
+		erc.OnCell = func(res sim.Result) {
+			if inner != nil {
+				inner(res)
+			}
+			mu.Lock()
+			execTotal += res.ExecNS
+			mu.Unlock()
+		}
+		name := fmt.Sprintf("epoch:%d", e)
+		if err := rep.record(name, erc.NumApps()*len(figures.Fig10Schemes), func() (map[string]float64, error) {
+			_, avg, err := figures.Fig10(erc)
+			if err != nil {
+				return nil, err
+			}
+			m := avgMetrics(avg)
+			mu.Lock()
+			m["exec_ns_total"] = float64(execTotal)
+			mu.Unlock()
+			return m, nil
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(out, "epoch sweep: done")
 
 	// Forked-vs-cold recovery sweep: identical trials (asserted by the
 	// figures tests), so the wall-time ratio isolates the fork layer's

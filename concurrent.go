@@ -32,11 +32,27 @@ func (s *SafeSystem) ReadBlock(i uint64) ([]byte, error) {
 	return s.sys.ReadBlock(i)
 }
 
+// ReadBlockInto reads block i into dst without allocating.
+func (s *SafeSystem) ReadBlockInto(i uint64, dst *[BlockSize]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.ReadBlockInto(i, dst)
+}
+
 // WriteBlock encrypts and persists block i.
 func (s *SafeSystem) WriteBlock(i uint64, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sys.WriteBlock(i, data)
+}
+
+// WriteBlocks applies a batch of block writes under one lock
+// acquisition: the batch serializes as a unit against concurrent
+// callers instead of interleaving write by write.
+func (s *SafeSystem) WriteBlocks(writes []BlockWrite) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.WriteBlocks(writes)
 }
 
 // ReadRange reads n bytes at byte offset off.

@@ -58,14 +58,19 @@ func (s *Split) Increment(i int) (pageOverflow bool) {
 
 // Pack serializes the block into the 64-byte memory layout: the major
 // counter in the first 8 bytes, then the 64 minor counters packed 7 bits
-// each into the remaining 56 bytes.
+// each into the remaining 56 bytes. Eight consecutive minors occupy
+// exactly 56 bits, so the packing runs in byte-aligned 7-byte groups —
+// one word store per group instead of one branch per bit (this codec is
+// on the per-write hot path of every general-tree scheme).
 func (s *Split) Pack() [BlockBytes]byte {
 	var out [BlockBytes]byte
 	binary.LittleEndian.PutUint64(out[0:8], s.Major)
-	bitOff := 64 // bit offset into the 512-bit block
-	for i := 0; i < SplitMinors; i++ {
-		putBits(out[:], bitOff, MinorBits, uint64(s.Minors[i]))
-		bitOff += MinorBits
+	for g := 0; g < SplitMinors/8; g++ {
+		var w uint64
+		for j := 7; j >= 0; j-- {
+			w = w<<MinorBits | uint64(s.Minors[g*8+j]&MinorMax)
+		}
+		put56(out[8+g*7:], w)
 	}
 	return out
 }
@@ -74,10 +79,11 @@ func (s *Split) Pack() [BlockBytes]byte {
 func UnpackSplit(b [BlockBytes]byte) Split {
 	var s Split
 	s.Major = binary.LittleEndian.Uint64(b[0:8])
-	bitOff := 64
-	for i := 0; i < SplitMinors; i++ {
-		s.Minors[i] = uint8(getBits(b[:], bitOff, MinorBits))
-		bitOff += MinorBits
+	for g := 0; g < SplitMinors/8; g++ {
+		w := get56(b[8+g*7:])
+		for j := 0; j < 8; j++ {
+			s.Minors[g*8+j] = uint8(w >> uint(MinorBits*j) & MinorMax)
+		}
 	}
 	return s
 }
@@ -153,33 +159,57 @@ func SpliceLSB(stale, lsb uint64) uint64 {
 
 // --- bit packing helpers ----------------------------------------------------
 
-// putBits writes the low `width` bits of v at bit offset off in buf.
+// putBits writes the low `width` bits of v at bit offset off in buf,
+// as one masked 64-bit read-modify-write instead of a branch per bit.
+// width must be at most 57 so the field plus any intra-byte shift fits
+// in one word (every caller packs 7- or 49-bit fields).
 func putBits(buf []byte, off, width int, v uint64) {
-	for i := 0; i < width; i++ {
-		bit := (v >> uint(i)) & 1
-		idx := off + i
-		if bit != 0 {
-			buf[idx/8] |= 1 << uint(idx%8)
-		} else {
-			buf[idx/8] &^= 1 << uint(idx%8)
-		}
+	i, shift := off>>3, uint(off&7)
+	mask := uint64(1)<<uint(width) - 1
+	v &= mask
+	if i+8 <= len(buf) {
+		w := binary.LittleEndian.Uint64(buf[i:])
+		binary.LittleEndian.PutUint64(buf[i:], w&^(mask<<shift)|v<<shift)
+		return
+	}
+	// Tail: fewer than 8 bytes left, so the field ends inside them.
+	var w uint64
+	n := len(buf) - i
+	for j := 0; j < n; j++ {
+		w |= uint64(buf[i+j]) << uint(8*j)
+	}
+	w = w&^(mask<<shift) | v<<shift
+	for j := 0; j < n; j++ {
+		buf[i+j] = byte(w >> uint(8*j))
 	}
 }
 
-// getBits reads `width` bits at bit offset off in buf.
+// getBits reads `width` (≤ 57) bits at bit offset off in buf with one
+// word load; see putBits.
 func getBits(buf []byte, off, width int) uint64 {
-	var v uint64
-	for i := 0; i < width; i++ {
-		idx := off + i
-		if buf[idx/8]&(1<<uint(idx%8)) != 0 {
-			v |= 1 << uint(i)
+	i, shift := off>>3, uint(off&7)
+	var w uint64
+	if i+8 <= len(buf) {
+		w = binary.LittleEndian.Uint64(buf[i:])
+	} else {
+		for j := i; j < len(buf); j++ {
+			w |= uint64(buf[j]) << uint(8*(j-i))
 		}
 	}
-	return v
+	return w >> shift & (uint64(1)<<uint(width) - 1)
 }
 
-// put56 writes a 56-bit little-endian value into 7 bytes.
+// put56 writes a 56-bit little-endian value into 7 bytes, preserving
+// the byte after the field (word-wise read-modify-write when the
+// buffer allows it).
 func put56(buf []byte, v uint64) {
+	const mask = uint64(1)<<56 - 1
+	v &= mask
+	if len(buf) >= 8 {
+		w := binary.LittleEndian.Uint64(buf)
+		binary.LittleEndian.PutUint64(buf, w&^mask|v)
+		return
+	}
 	for i := 0; i < 7; i++ {
 		buf[i] = byte(v >> uint(8*i))
 	}
@@ -187,6 +217,10 @@ func put56(buf []byte, v uint64) {
 
 // get56 reads a 56-bit little-endian value from 7 bytes.
 func get56(buf []byte) uint64 {
+	const mask = uint64(1)<<56 - 1
+	if len(buf) >= 8 {
+		return binary.LittleEndian.Uint64(buf) & mask
+	}
 	var v uint64
 	for i := 0; i < 7; i++ {
 		v |= uint64(buf[i]) << uint(8*i)

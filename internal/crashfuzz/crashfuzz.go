@@ -5,9 +5,10 @@
 // power failure, so recovery correctness must be a continuously searched
 // property, not a handful of golden tests. A fuzz trial is a seeded
 // random schedule: workload profile × controller scheme × crash point ×
-// crash model × optional post-crash ECC faults, optionally landing the
-// crash inside a two-stage commit group (the SetPushBudget mid-drain
-// hook). The trial forks a warmed controller copy-on-write (PR 3), runs
+// crash model × epoch coalescing-window size × optional post-crash ECC
+// faults, optionally landing the crash inside a two-stage commit group
+// (the SetPushBudget mid-drain hook — which, with an epoch window
+// armed, can tear the close's coalesced commit group half-drained). The trial forks a warmed controller copy-on-write (PR 3), runs
 // the schedule, and checks a differential oracle against a golden
 // shadow copy of every value the workload wrote:
 //
@@ -144,6 +145,13 @@ type Schedule struct {
 	Combo   Combo
 	Model   nvm.CrashModel
 
+	// Epoch is the controller's coalescing-window size
+	// (memctrl.Config.EpochRequests): 0 (or 1) runs the legacy eager
+	// path; larger values arm the bank-parallel epoch pipeline, so
+	// crashes can land mid-window with deferred tree updates only in
+	// the epoch journal, or inside a half-drained close commit group.
+	Epoch int
+
 	Warm  int // requests the shared warm parent executes before forking
 	Extra int // requests the forked child executes before the crash
 
@@ -166,9 +174,15 @@ func (s Schedule) strictEnvelope() bool {
 }
 
 // String renders the single-line replay token ParseSchedule inverts.
+// epoch is emitted only when armed, so pre-epoch tokens and their
+// replays stay byte-identical.
 func (s Schedule) String() string {
-	return fmt.Sprintf("v1 profile=%s combo=%s model=%s warm=%d extra=%d mid=%d faults=%d tseed=%d cseed=%d",
+	tok := fmt.Sprintf("v1 profile=%s combo=%s model=%s warm=%d extra=%d mid=%d faults=%d tseed=%d cseed=%d",
 		s.Profile, s.Combo, s.Model, s.Warm, s.Extra, s.MidCommit, s.Faults, s.TraceSeed, s.CrashSeed)
+	if s.Epoch != 0 {
+		tok += fmt.Sprintf(" epoch=%d", s.Epoch)
+	}
+	return tok
 }
 
 // ParseSchedule parses a replay token produced by Schedule.String.
@@ -202,7 +216,7 @@ func ParseSchedule(tok string) (Schedule, error) {
 				return Schedule{}, fmt.Errorf("crashfuzz: unknown crash model %q", v)
 			}
 			s.Model = m
-		case "warm", "extra", "mid", "faults", "tseed", "cseed":
+		case "warm", "extra", "mid", "faults", "tseed", "cseed", "epoch":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
 				return Schedule{}, fmt.Errorf("crashfuzz: field %s: %v", k, err)
@@ -220,6 +234,8 @@ func ParseSchedule(tok string) (Schedule, error) {
 				s.TraceSeed = n
 			case "cseed":
 				s.CrashSeed = n
+			case "epoch":
+				s.Epoch = int(n)
 			}
 		default:
 			return Schedule{}, fmt.Errorf("crashfuzz: unknown token field %q", k)
@@ -235,7 +251,7 @@ func (s *Schedule) validate() error {
 	if s.Profile == "" {
 		return errors.New("crashfuzz: schedule has no profile")
 	}
-	if s.Warm < 0 || s.Faults < 0 {
+	if s.Warm < 0 || s.Faults < 0 || s.Epoch < 0 {
 		return errors.New("crashfuzz: negative schedule dimension")
 	}
 	if s.Extra < 1 || s.Extra > MaxExtra {
@@ -249,10 +265,12 @@ func (s *Schedule) validate() error {
 func RandomSchedule(rng *rand.Rand, traceSeed int64) Schedule {
 	combos := Combos()
 	warms := []int{64, 256}
+	epochs := []int{0, 4, 16} // legacy eager path plus two coalescing-window sizes
 	s := Schedule{
 		Profile:   Profiles[rng.Intn(len(Profiles))],
 		Combo:     combos[rng.Intn(len(combos))],
 		Model:     nvm.CrashModel(rng.Intn(len(nvm.CrashModels()))),
+		Epoch:     epochs[rng.Intn(len(epochs))],
 		Warm:      warms[rng.Intn(len(warms))],
 		Extra:     1 + rng.Intn(MaxExtra),
 		MidCommit: -1,
@@ -299,6 +317,7 @@ type parent struct {
 type parentKey struct {
 	profile string
 	combo   Combo
+	epoch   int
 	warm    int
 	tseed   int64
 }
@@ -335,7 +354,7 @@ func NewRunner() *Runner {
 func arenaLen(warm int) int { return warm + MaxExtra + 1 + PostRunRequests }
 
 func (r *Runner) parent(s Schedule) (*parent, error) {
-	key := parentKey{profile: s.Profile, combo: s.Combo, warm: s.Warm, tseed: s.TraceSeed}
+	key := parentKey{profile: s.Profile, combo: s.Combo, epoch: s.Epoch, warm: s.Warm, tseed: s.TraceSeed}
 	if p, ok := r.parents[key]; ok {
 		return p, nil
 	}
@@ -343,7 +362,9 @@ func (r *Runner) parent(s Schedule) (*parent, error) {
 	if !ok {
 		return nil, fmt.Errorf("crashfuzz: unknown profile %q", s.Profile)
 	}
-	ctrl, err := r.NewController(s.Combo.Family, r.Config(s.Combo.Scheme))
+	cfg := r.Config(s.Combo.Scheme)
+	cfg.EpochRequests = s.Epoch
+	ctrl, err := r.NewController(s.Combo.Family, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("crashfuzz: %s: %w", s.Combo, err)
 	}

@@ -104,6 +104,77 @@ func TestTrialDeterminism(t *testing.T) {
 	}
 }
 
+// TestEpochMidDrainRegressionSeeds pins the epoch-pipeline crash
+// surface: with a coalescing window armed (Epoch=4), the mid-commit
+// budget hook sweeps over small budgets and crash points so the power
+// failure lands mid-window (deferred tree updates only in the epoch
+// journal, stale root register) and — on crash points that close a
+// window — inside the close's coalesced commit group, half-drained.
+// Every deferring combo must satisfy the oracle under all three crash
+// models; these are the seeds that caught torn close groups during
+// development, kept as a deterministic regression net.
+func TestEpochMidDrainRegressionSeeds(t *testing.T) {
+	r := NewRunner()
+	deferring := []Combo{
+		{sim.FamilyBonsai, memctrl.SchemeStrict},
+		{sim.FamilyBonsai, memctrl.SchemeAGITPlus},
+		{sim.FamilySGX, memctrl.SchemeASIT},
+	}
+	cseed := int64(4242)
+	for _, combo := range deferring {
+		for _, model := range nvm.CrashModels() {
+			for _, mid := range []int{0, 1, 2, 3, 4, 5} {
+				for _, extra := range []int{4, 9} {
+					s := Schedule{
+						Profile: "libquantum", Combo: combo, Model: model,
+						Epoch: 4, Warm: 64, Extra: extra, MidCommit: mid,
+						TraceSeed: 99, CrashSeed: cseed,
+					}
+					cseed++
+					if v := r.RunTrial(s); v != nil {
+						t.Fatalf("%v", v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEpochReplayTokens replays checked-in epoch-pipeline repro tokens
+// (the epoch=N token extension; absent = legacy path for old corpora)
+// and requires a clean run on the fixed controllers.
+func TestEpochReplayTokens(t *testing.T) {
+	r := NewRunner()
+	tokens := []string{
+		// Mid-epoch crash, window open: journal replay path.
+		"v1 profile=libquantum combo=sgx/asit model=full-adr warm=64 extra=13 mid=-1 faults=0 tseed=99 cseed=11 epoch=16",
+		"v1 profile=mcf combo=bonsai/agit-plus model=torn-block warm=64 extra=21 mid=-1 faults=0 tseed=99 cseed=12 epoch=16",
+		// Half-drained close group: DONE_BIT redo must retire the window.
+		"v1 profile=libquantum combo=bonsai/strict model=full-adr warm=64 extra=8 mid=1 faults=0 tseed=99 cseed=13 epoch=4",
+		"v1 profile=libquantum combo=sgx/asit model=partial-drain warm=64 extra=8 mid=1 faults=0 tseed=99 cseed=14 epoch=4",
+	}
+	for _, tok := range tokens {
+		s, err := ParseSchedule(tok)
+		if err != nil {
+			t.Fatalf("token %q: %v", tok, err)
+		}
+		if s.Epoch == 0 {
+			t.Fatalf("token %q lost its epoch dimension", tok)
+		}
+		if v := r.RunTrial(s); v != nil {
+			t.Fatalf("%v", v)
+		}
+	}
+	// Back-compat: a pre-epoch token parses to the legacy path.
+	s, err := ParseSchedule("v1 profile=mcf combo=bonsai/strict model=full-adr warm=64 extra=5 mid=-1 faults=0 tseed=99 cseed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch != 0 {
+		t.Fatalf("epoch-less token parsed to Epoch=%d, want 0", s.Epoch)
+	}
+}
+
 // --- deliberately broken controllers: the fuzzer must catch them -----------
 
 // panickyRecover wraps a controller whose Recover panics, simulating an
@@ -219,15 +290,17 @@ var fuzzRunner = NewRunner()
 // mutates the schedule dimensions and every execution must satisfy the
 // differential oracle.
 func FuzzTrial(f *testing.F) {
-	f.Add(int64(1), uint8(0), uint8(0), uint8(0), uint16(10), int8(-1), uint8(0))
-	f.Add(int64(99), uint8(4), uint8(1), uint8(2), uint16(33), int8(3), uint8(1))
-	f.Add(int64(7), uint8(10), uint8(2), uint8(1), uint16(80), int8(0), uint8(2))
-	f.Fuzz(func(t *testing.T, cseed int64, combo, model, profile uint8, extra uint16, mid int8, faults uint8) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(0), uint16(10), int8(-1), uint8(0), uint8(0))
+	f.Add(int64(99), uint8(4), uint8(1), uint8(2), uint16(33), int8(3), uint8(1), uint8(1))
+	f.Add(int64(7), uint8(10), uint8(2), uint8(1), uint16(80), int8(0), uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, cseed int64, combo, model, profile uint8, extra uint16, mid int8, faults, epoch uint8) {
 		combos := Combos()
+		epochs := []int{0, 4, 16}
 		s := Schedule{
 			Profile:   Profiles[int(profile)%len(Profiles)],
 			Combo:     combos[int(combo)%len(combos)],
 			Model:     nvm.CrashModel(int(model) % len(nvm.CrashModels())),
+			Epoch:     epochs[int(epoch)%len(epochs)],
 			Warm:      64,
 			Extra:     1 + int(extra)%MaxExtra,
 			MidCommit: -1,
@@ -249,6 +322,7 @@ func FuzzTrial(f *testing.F) {
 func FuzzParseSchedule(f *testing.F) {
 	f.Add("v1 profile=mcf combo=bonsai/strict model=full-adr warm=64 extra=10 mid=-1 faults=0 tseed=99 cseed=1")
 	f.Add("v1 profile=lbm combo=sgx/asit model=torn-block warm=0 extra=96 mid=5 faults=3 tseed=-4 cseed=-9")
+	f.Add("v1 profile=lbm combo=sgx/asit model=partial-drain warm=64 extra=7 mid=1 faults=0 tseed=99 cseed=8 epoch=4")
 	f.Add("v1 garbage")
 	f.Fuzz(func(t *testing.T, tok string) {
 		s, err := ParseSchedule(tok)

@@ -18,35 +18,36 @@
 //   - Tree hashes are truncated so that eight of them pack into one
 //     64-byte node (8-ary trees), exactly as in the paper's Figure 2.
 //
-// All primitives come from the Go standard library (AES, SHA-256, HMAC).
+// Encryption uses the standard library's AES-128. Hashes and MACs use a
+// keyed multiply-mix construction (wyhash-style folded 64×64→128
+// multiplies) rather than SHA-256/HMAC: the simulator charges
+// cryptographic latency through the modeled HashNS cost, so the
+// functional hash contributes nothing to simulated timing — it only
+// needs determinism, full-width avalanche (tamper and differential
+// tests must see every bit flip), and per-key separation, all of which
+// the mix provides at a tenth of the wall-clock cost. SHA-256 here
+// dominated whole-sweep profiles (~25% of samples) while adding no
+// modeling fidelity; a production memory controller's choice of hash
+// is orthogonal to everything this simulator measures.
 //
 // # Allocation-free hot path
 //
 // Every simulated memory request calls into this package several times
 // (pad + MAC on the data, one tree hash per Merkle level), so the block
-// path must not allocate. Two things used to allocate:
-//
-//   - hmac.New per MAC re-folds the key into fresh inner/outer SHA-256
-//     states (7 allocs/op). The engine now folds the key once and keeps
-//     reusable keyed HMAC states in a sync.Pool; Reset restores the
-//     pre-folded inner state without touching the key again.
-//   - Stack scratch (pad, IV, Sum destination) escaped to the heap
-//     because it is sliced into interface method calls. The scratch now
-//     lives in the same pooled object.
-//
-// The pool also keeps the Engine safe for concurrent use: parallel
-// evaluation cells (internal/parallel) may share one Engine, and each
-// in-flight operation checks out its own scratch state.
+// path must not allocate. The MAC/hash paths are pure register math;
+// OTP generation stages its pad and IV in a pooled scratch so the
+// AES calls never force caller buffers to escape. The pool also keeps
+// the Engine safe for concurrent use: parallel evaluation cells
+// (internal/parallel) may share one Engine, and each in-flight
+// operation checks out its own scratch state.
 // BenchmarkPad/BenchmarkDataMAC/BenchmarkTreeHash prove 0 allocs/op.
 package cryptoeng
 
 import (
 	"crypto/aes"
 	"crypto/cipher"
-	"crypto/hmac"
-	"crypto/sha256"
 	"encoding/binary"
-	"hash"
+	"math/bits"
 	"sync"
 )
 
@@ -64,29 +65,70 @@ const SGXMACBits = 56
 // scratch is the per-operation working state. One scratch is checked
 // out of the Engine's pool for the duration of a primitive call, so the
 // hot path performs no heap allocation and concurrent callers never
-// share buffers.
+// share buffers. Only the OTP path needs scratch; MAC and hash
+// computation is pure register math.
 type scratch struct {
-	mac hash.Hash           // HMAC-SHA256 with the MAC key pre-folded
-	h   hash.Hash           // plain SHA-256 for tree hashes
-	sum [sha256.Size]byte   // Sum destination (appended into, never grows)
 	pad [BlockBytes]byte    // OTP scratch
 	iv  [aes.BlockSize]byte // counter-mode IV scratch
-
-	// msg assembles each MAC/hash input (header ‖ block) so exactly one
-	// Write crosses the hash.Hash interface per operation. Caller
-	// buffers handed to an interface method would escape to the heap;
-	// staging them here keeps callers allocation-free (stack arrays
-	// stay on the stack) and halves the interface-call overhead.
-	msg [96]byte
 }
 
 // Engine holds the processor-resident secrets and implements every
 // cryptographic operation the memory controller needs. An Engine is
 // safe for concurrent use after construction.
 type Engine struct {
-	aead   cipher.Block // AES-128 block cipher for OTP generation
-	macKey [32]byte     // HMAC key for data MACs and SGX MACs
-	pool   sync.Pool    // *scratch
+	aead    cipher.Block // AES-128 block cipher for OTP generation
+	macSeed uint64       // MAC-key-derived seed for data/SGX MACs
+	stSeed  uint64       // domain-separated seed for shadow-table MACs
+	pool    sync.Pool    // *scratch
+}
+
+// Mixing constants: the "secret" multipliers of the wyhash family —
+// dense, random-looking odd words that make the folded multiply
+// avalanche. Their exact values are arbitrary but must never change:
+// persisted images embed hashes computed with them.
+const (
+	mixK0 = 0xa0761d6478bd642f
+	mixK1 = 0xe7037ed1a0b428db
+	mixK2 = 0x8ebc6af09c88c6e3
+	mixK3 = 0x589965cc75374cc3
+	mixK4 = 0x1d8e4e27c47d124f
+
+	// Fixed seeds of the two unkeyed hashes. ContentHash must be
+	// engine-independent (default tree nodes are shared across
+	// controllers); TreeHash gets its own domain.
+	contentSeed = 0x2d358dccaa6c78a5
+	treeSeed    = 0x8bb84b93962eacc9
+
+	// stDomainSeed separates shadow-table MACs from node MACs computed
+	// under the same MAC key.
+	stDomainSeed = 0x9e3779b97f4a7c15
+)
+
+// mix is the folded 64×64→128 multiply at the heart of every hash: both
+// halves of the product depend on all 128 input bits, so XORing them
+// gives full avalanche in one multiply.
+func mix(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}
+
+// hashBlock compresses a 64-byte block and a seed into 64 bits: four
+// independent two-word lanes, then a cross-lane combining multiply.
+func hashBlock(seed uint64, b []byte) uint64 {
+	_ = b[BlockBytes-1]
+	w0 := binary.LittleEndian.Uint64(b[0:])
+	w1 := binary.LittleEndian.Uint64(b[8:])
+	w2 := binary.LittleEndian.Uint64(b[16:])
+	w3 := binary.LittleEndian.Uint64(b[24:])
+	w4 := binary.LittleEndian.Uint64(b[32:])
+	w5 := binary.LittleEndian.Uint64(b[40:])
+	w6 := binary.LittleEndian.Uint64(b[48:])
+	w7 := binary.LittleEndian.Uint64(b[56:])
+	h0 := mix(w0^mixK0, w1^seed)
+	h1 := mix(w2^mixK1, w3^seed)
+	h2 := mix(w4^mixK2, w5^seed)
+	h3 := mix(w6^mixK3, w7^seed)
+	return mix(h0^h2^mixK4, h1^h3^seed)
 }
 
 // NewEngine derives an engine from a 16-byte processor key and a 32-byte
@@ -99,22 +141,22 @@ func NewEngine(aesKey [16]byte, macKey [32]byte) *Engine {
 		// fixed-size parameter rules out.
 		panic("cryptoeng: " + err.Error())
 	}
-	e := &Engine{aead: blk, macKey: macKey}
-	e.pool.New = func() any { return e.newScratch() }
+	e := &Engine{aead: blk}
+	// Fold the 32-byte MAC key into the 64-bit seeds all keyed MACs
+	// hang off: every key bit reaches the seed through a multiply, so
+	// distinct keys give unrelated MAC families (the key-separation
+	// property the tests check).
+	k0 := binary.LittleEndian.Uint64(macKey[0:])
+	k1 := binary.LittleEndian.Uint64(macKey[8:])
+	k2 := binary.LittleEndian.Uint64(macKey[16:])
+	k3 := binary.LittleEndian.Uint64(macKey[24:])
+	e.macSeed = mix(k0^mixK0, k1^mixK1) ^ mix(k2^mixK2, k3^mixK3)
+	e.stSeed = mix(e.macSeed^mixK4, stDomainSeed)
+	e.pool.New = func() any { return new(scratch) }
 	// Pre-warm one scratch so even the first operation after boot runs
 	// allocation-free.
-	e.pool.Put(e.newScratch())
+	e.pool.Put(new(scratch))
 	return e
-}
-
-// newScratch folds the MAC key into a fresh HMAC state and primes its
-// internal marshaled ipad/opad cache (one Sum+Reset cycle) so that
-// subsequent Reset/Sum calls on the pooled object never allocate.
-func (e *Engine) newScratch() *scratch {
-	s := &scratch{mac: hmac.New(sha256.New, e.macKey[:]), h: sha256.New()}
-	s.mac.Sum(s.sum[:0])
-	s.mac.Reset()
-	return s
 }
 
 func (e *Engine) get() *scratch  { return e.pool.Get().(*scratch) }
@@ -198,15 +240,8 @@ func (e *Engine) DataMAC(addr, counter uint64, data []byte) uint64 {
 	if len(data) != BlockBytes {
 		panic("cryptoeng: DataMAC needs a 64-byte block")
 	}
-	s := e.get()
-	s.mac.Reset()
-	binary.LittleEndian.PutUint64(s.msg[0:8], addr)
-	binary.LittleEndian.PutUint64(s.msg[8:16], counter)
-	copy(s.msg[16:16+BlockBytes], data)
-	s.mac.Write(s.msg[:16+BlockBytes])
-	v := binary.LittleEndian.Uint64(s.mac.Sum(s.sum[:0])[:8])
-	e.put(s)
-	return v
+	h := hashBlock(e.macSeed, data)
+	return mix(mix(addr^mixK1, counter^e.macSeed)^h, mixK2^e.macSeed)
 }
 
 // TreeHash computes the 64-bit hash of a child node stored in its parent
@@ -216,14 +251,7 @@ func (e *Engine) TreeHash(nodeAddr uint64, node []byte) uint64 {
 	if len(node) != BlockBytes {
 		panic("cryptoeng: TreeHash needs a 64-byte node")
 	}
-	s := e.get()
-	s.h.Reset()
-	binary.LittleEndian.PutUint64(s.msg[0:8], nodeAddr)
-	copy(s.msg[8:8+BlockBytes], node)
-	s.h.Write(s.msg[:8+BlockBytes])
-	v := binary.LittleEndian.Uint64(s.h.Sum(s.sum[:0])[:8])
-	e.put(s)
-	return v
+	return mix(hashBlock(treeSeed, node)^mixK0, nodeAddr^treeSeed)
 }
 
 // STMAC computes the 56-bit MAC stored in an ASIT shadow-table entry
@@ -234,38 +262,12 @@ func (e *Engine) TreeHash(nodeAddr uint64, node []byte) uint64 {
 // counters (MSBs included) is what lets recovery detect tampering with
 // the stale in-memory copy the LSBs are spliced onto.
 func (e *Engine) STMAC(nodeAddr uint64, counters []uint64) uint64 {
-	s := e.get()
-	s.mac.Reset()
-	off := copy(s.msg[:], stDomain)
-	binary.LittleEndian.PutUint64(s.msg[off:off+8], nodeAddr)
-	off += 8
-	off = s.appendCounters(off, counters)
-	s.mac.Write(s.msg[:off])
-	v := binary.LittleEndian.Uint64(s.mac.Sum(s.sum[:0])[:8]) & (1<<SGXMACBits - 1)
-	e.put(s)
-	return v
-}
-
-// appendCounters stages counter values into the message buffer starting
-// at off, flushing to the HMAC state whenever the buffer fills (the
-// common 8-counter case fits in a single Write). Returns the unflushed
-// length.
-func (s *scratch) appendCounters(off int, counters []uint64) int {
+	h := mix(nodeAddr^mixK0, e.stSeed^mixK3)
 	for _, c := range counters {
-		if off+8 > len(s.msg) {
-			s.mac.Write(s.msg[:off])
-			off = 0
-		}
-		binary.LittleEndian.PutUint64(s.msg[off:off+8], c)
-		off += 8
+		h = mix(h^mixK1, c^e.stSeed)
 	}
-	return off
+	return mix(h^mixK2, e.stSeed^mixK4) & (1<<SGXMACBits - 1)
 }
-
-// stDomain is the STMAC domain-separation prefix, hoisted to a package
-// variable so the hot path does not rebuild (and re-allocate) the
-// string-to-byte conversion per call.
-var stDomain = []byte("anubis-st-entry")
 
 // ContentHash computes the 64-bit hash of a 64-byte node used by
 // general (non-parallelizable) Merkle trees. It is content-only —
@@ -277,8 +279,7 @@ func (e *Engine) ContentHash(node []byte) uint64 {
 	if len(node) != BlockBytes {
 		panic("cryptoeng: ContentHash needs a 64-byte node")
 	}
-	h := sha256.Sum256(node)
-	return binary.LittleEndian.Uint64(h[:8])
+	return hashBlock(contentSeed, node)
 }
 
 // SGXMAC computes the 56-bit MAC embedded in an SGX-style block: it
@@ -286,17 +287,9 @@ func (e *Engine) ContentHash(node []byte) uint64 {
 // block that versions this node, and the node address. The result fits
 // in the low 56 bits of the returned value.
 func (e *Engine) SGXMAC(nodeAddr uint64, counters []uint64, parentCounter uint64) uint64 {
-	s := e.get()
-	s.mac.Reset()
-	binary.LittleEndian.PutUint64(s.msg[0:8], nodeAddr)
-	off := s.appendCounters(8, counters)
-	if off+8 > len(s.msg) {
-		s.mac.Write(s.msg[:off])
-		off = 0
+	h := mix(nodeAddr^mixK0, e.macSeed^mixK3)
+	for _, c := range counters {
+		h = mix(h^mixK1, c^e.macSeed)
 	}
-	binary.LittleEndian.PutUint64(s.msg[off:off+8], parentCounter)
-	s.mac.Write(s.msg[:off+8])
-	v := binary.LittleEndian.Uint64(s.mac.Sum(s.sum[:0])[:8]) & (1<<SGXMACBits - 1)
-	e.put(s)
-	return v
+	return mix(h^mixK2, parentCounter^e.macSeed) & (1<<SGXMACBits - 1)
 }

@@ -35,6 +35,11 @@ type RunConfig struct {
 	CounterCacheBytes int
 	TreeCacheBytes    int
 	MetaCacheBytes    int
+	// Epoch is the bank-parallel epoch pipeline's window size in write
+	// requests (memctrl.Config.EpochRequests). 0 or 1 selects the legacy
+	// eager path, byte-identical to pre-epoch builds; the zero value
+	// deliberately stays legacy so existing sweeps reproduce exactly.
+	Epoch int
 	// Parallel is the evaluation engine's worker count: how many
 	// (scheme, app, size) simulation cells run concurrently. 0 means
 	// runtime.GOMAXPROCS(0); 1 reproduces the legacy sequential path.
@@ -115,6 +120,7 @@ func (rc RunConfig) config(s memctrl.Scheme) memctrl.Config {
 	if rc.MetaCacheBytes > 0 {
 		cfg.MetaCacheBlocks = rc.MetaCacheBytes / memctrl.BlockBytes
 	}
+	cfg.EpochRequests = rc.Epoch
 	return cfg
 }
 

@@ -68,6 +68,16 @@ type Bonsai struct {
 
 	// pending accumulates the current operation's atomic write group.
 	pending []nvm.PendingWrite
+
+	// Epoch pipeline state (cfg.EpochRequests > 1 only; see
+	// bonsai_epoch.go): writes since the last close, the set of counter
+	// pages with deferred tree-path updates, and reusable close-time
+	// scratch. All volatile — lost at crash; the device-side epoch
+	// journal is the persistent record of the open window.
+	epochWrites int
+	epochDirty  map[uint64]struct{}
+	epochPages  []uint64
+	epochHash   []uint64
 }
 
 // NewBonsai constructs a Bonsai-family controller for cfg.Scheme, which
@@ -95,6 +105,9 @@ func NewBonsai(cfg Config) (*Bonsai, error) {
 	if b.agit() {
 		b.sct = shadow.NewAddrTable(b.cCache.NumSlots())
 		b.smt = shadow.NewAddrTable(b.tCache.NumSlots())
+	}
+	if cfg.EpochRequests > 1 {
+		b.epochDirty = make(map[uint64]struct{}, cfg.EpochRequests)
 	}
 	b.reserveRegions()
 	b.initTreeDefaults()
@@ -271,6 +284,20 @@ func (b *Bonsai) getCounterBlock(page uint64) (*cache.Line, error) {
 	// the Insert copy, so the pointer stays valid.
 	blk, _, done := b.dev.ReadAtPtr(nvm.RegionCounter, page, b.now)
 	b.now = done
+	if b.dev.JournalLen() > 0 {
+		if je, ok := b.dev.JournalLookup(page); ok {
+			// Mid-epoch refetch of a journaled block: the on-chip epoch
+			// journal holds the authoritative content (NVM and the tree
+			// still describe the epoch start). The journal lives inside
+			// the persistence domain, so no tree verification applies.
+			line, victim := b.cCache.Insert(page, je.New)
+			b.writeBackCounterVictim(victim)
+			if b.cfg.Scheme == SchemeAGITRead {
+				b.shadowCounterSlot(line.Slot(), page)
+			}
+			return line, nil
+		}
+	}
 	h := b.eng.ContentHash(blk[:])
 	pnode, slot := b.geom.LeafParent(page)
 	parent, err := b.getTreeNode(0, pnode)
@@ -387,8 +414,18 @@ func (b *Bonsai) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 }
 
 // WriteBlock encrypts and persists one data block with all metadata
-// updates the configured scheme requires, atomically (§2.7).
+// updates the configured scheme requires, atomically (§2.7). With
+// cfg.EpochRequests > 1 the eager tree update is deferred into the
+// epoch pipeline (bonsai_epoch.go); otherwise the legacy lockstep path
+// runs, byte-identical to pre-epoch builds.
 func (b *Bonsai) WriteBlock(idx uint64, data [BlockBytes]byte) error {
+	if b.cfg.EpochRequests > 1 {
+		return b.writeBlockEpoch(idx, data)
+	}
+	return b.writeBlockLegacy(idx, data)
+}
+
+func (b *Bonsai) writeBlockLegacy(idx uint64, data [BlockBytes]byte) error {
 	if err := b.checkAddr(idx); err != nil {
 		return err
 	}
@@ -563,6 +600,14 @@ func (b *Bonsai) commitPending() {
 	if len(b.pending) == 0 {
 		return
 	}
+	if b.dev.DoneBit() {
+		// A simulated mid-drain power loss froze an earlier group in the
+		// staging area (the SetPushBudget hook): the persistence domain
+		// accepts nothing more, so later groups are dropped on the floor
+		// — after the crash, RedoCommitted governs what lands.
+		b.pending = b.pending[:0]
+		return
+	}
 	b.dev.BeginCommit()
 	for _, w := range b.pending {
 		b.dev.Stage(w)
@@ -579,6 +624,11 @@ func (b *Bonsai) commitPending() {
 
 // FlushCaches writes back all dirty metadata (orderly shutdown).
 func (b *Bonsai) FlushCaches() {
+	// An open epoch window drains first: flushed counter lines may carry
+	// content the stale root register does not cover yet. A close
+	// failure here is an integrity error that every subsequent
+	// verification would also surface, so best-effort is enough.
+	_ = b.FlushEpoch()
 	b.cCache.FlushAll(func(page uint64, data [BlockBytes]byte) {
 		b.now = b.dev.Push(nvm.PendingWrite{Region: nvm.RegionCounter, Index: page, Block: data}, b.now)
 	})
@@ -603,6 +653,10 @@ func (b *Bonsai) CrashWith(model nvm.CrashModel, rng *rand.Rand) {
 	b.tCache.DropAll()
 	b.updateCount.Reset()
 	b.pending = b.pending[:0]
+	b.epochWrites = 0
+	for p := range b.epochDirty {
+		delete(b.epochDirty, p)
+	}
 	b.rootHash = 0
 	b.crashed = true
 }

@@ -1,0 +1,285 @@
+package memctrl
+
+import (
+	"errors"
+	"testing"
+
+	"anubis/internal/counter"
+)
+
+var epochSchemes = []Scheme{
+	SchemeWriteBack, SchemeStrict, SchemeOsiris, SchemeAGITRead,
+	SchemeAGITPlus, SchemeSelective, SchemeTriad,
+}
+
+func newEpochBonsai(t *testing.T, s Scheme, epoch int) *Bonsai {
+	t.Helper()
+	cfg := TestConfig(s)
+	cfg.EpochRequests = epoch
+	b, err := NewBonsai(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEpochWriteReadRoundTrip(t *testing.T) {
+	for _, s := range epochSchemes {
+		t.Run(s.String(), func(t *testing.T) {
+			b := newEpochBonsai(t, s, 4)
+			n := b.NumBlocks()
+			// One block per page: far more pages than the tiny caches
+			// hold, so mid-epoch evictions and journal-override refetches
+			// are exercised, across many epoch closes.
+			for i := uint64(0); i < 200; i++ {
+				addr := (i * counter.SplitMinors) % n
+				if err := b.WriteBlock(addr, pattern(i)); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+			}
+			for i := uint64(0); i < 200; i++ {
+				addr := (i * counter.SplitMinors) % n
+				got, err := b.ReadBlock(addr)
+				if err != nil {
+					t.Fatalf("read back %d: %v", i, err)
+				}
+				if got != pattern(i) {
+					t.Fatalf("page %d corrupted", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEpochOneIsStructurallyLegacy checks the byte-identity contract:
+// EpochRequests 0 and 1 both select the legacy path, producing identical
+// timing, statistics, and persistent device state.
+func TestEpochOneIsStructurallyLegacy(t *testing.T) {
+	for _, s := range epochSchemes {
+		t.Run(s.String(), func(t *testing.T) {
+			run := func(epoch int) *Bonsai {
+				b := newEpochBonsai(t, s, epoch)
+				for i := uint64(0); i < 120; i++ {
+					addr := (i * 37) % b.NumBlocks()
+					if err := b.WriteBlock(addr, pattern(i)); err != nil {
+						t.Fatal(err)
+					}
+					if i%3 == 0 {
+						if _, err := b.ReadBlock(addr); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				return b
+			}
+			a, c := run(0), run(1)
+			if a.Now() != c.Now() {
+				t.Fatalf("virtual clocks diverge: %d vs %d", a.Now(), c.Now())
+			}
+			if a.Stats() != c.Stats() {
+				t.Fatalf("stats diverge:\n%+v\n%+v", a.Stats(), c.Stats())
+			}
+			if a.Device().StateDigest() != c.Device().StateDigest() {
+				t.Fatal("persistent state diverges")
+			}
+		})
+	}
+}
+
+// TestEpochRootMatchesLegacyAfterClose checks that after the window
+// drains, the coalesced updates anchor the exact same root the eager
+// per-write path would have: the tree is a function of counter content
+// only.
+func TestEpochRootMatchesLegacyAfterClose(t *testing.T) {
+	for _, s := range epochSchemes {
+		t.Run(s.String(), func(t *testing.T) {
+			write := func(b *Bonsai) {
+				for i := uint64(0); i < 100; i++ {
+					addr := (i * counter.SplitMinors * 3) % b.NumBlocks()
+					if err := b.WriteBlock(addr, pattern(i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			legacy, epoch := newEpochBonsai(t, s, 0), newEpochBonsai(t, s, 16)
+			write(legacy)
+			write(epoch)
+			if err := epoch.FlushEpoch(); err != nil {
+				t.Fatal(err)
+			}
+			lr, _ := legacy.Device().GetReg64(regBonsaiRoot)
+			er, _ := epoch.Device().GetReg64(regBonsaiRoot)
+			if lr != er {
+				t.Fatalf("root registers disagree after close: %#x vs %#x", lr, er)
+			}
+			if epoch.Device().JournalLen() != 0 {
+				t.Fatalf("journal not cleared by close: %d entries", epoch.Device().JournalLen())
+			}
+		})
+	}
+}
+
+// TestEpochJournalLifecycle checks the journal mirrors the open window:
+// entries accumulate mid-epoch and the close's atomic group clears them.
+func TestEpochJournalLifecycle(t *testing.T) {
+	b := newEpochBonsai(t, SchemeAGITPlus, 4)
+	for i := uint64(0); i < 3; i++ {
+		if err := b.WriteBlock(i*counter.SplitMinors, pattern(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Device().JournalLen(); got != 3 {
+		t.Fatalf("mid-epoch journal has %d entries, want 3", got)
+	}
+	if err := b.WriteBlock(3*counter.SplitMinors, pattern(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Device().JournalLen(); got != 0 {
+		t.Fatalf("journal survived the close: %d entries", got)
+	}
+}
+
+// TestEpochMidWindowCrashRecovery is the heart of the coalescing
+// buffer's persistence contract: a crash with the window open (deferred
+// tree updates not yet drained) must recover through the two-pass
+// journal replay for every root-anchored scheme.
+func TestEpochMidWindowCrashRecovery(t *testing.T) {
+	for _, s := range epochSchemes {
+		t.Run(s.String(), func(t *testing.T) {
+			b := newEpochBonsai(t, s, 1<<20) // window never closes on its own
+			n := b.NumBlocks()
+			for i := uint64(0); i < 60; i++ {
+				addr := (i * counter.SplitMinors) % n
+				if err := b.WriteBlock(addr, pattern(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if b.Device().JournalLen() == 0 {
+				t.Fatal("window closed unexpectedly")
+			}
+			b.Crash()
+			rep, err := b.Recover()
+			if s == SchemeWriteBack {
+				if !errors.Is(err, ErrNotRecoverable) {
+					t.Fatalf("write-back recovery: %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			if rep.JournalPages == 0 {
+				t.Fatal("recovery did not replay the epoch journal")
+			}
+			if b.Device().JournalLen() != 0 {
+				t.Fatal("journal not cleared after recovery")
+			}
+			for i := uint64(0); i < 60; i++ {
+				addr := (i * counter.SplitMinors) % n
+				got, err := b.ReadBlock(addr)
+				if err != nil {
+					t.Fatalf("post-recovery read %d: %v", i, err)
+				}
+				if got != pattern(i) {
+					t.Fatalf("block %d lost its latest value", addr)
+				}
+			}
+		})
+	}
+}
+
+// TestEpochHalfDrainedCloseRecovers crashes with the close's coalesced
+// commit group half-drained (power loss mid-WPQ-drain): the DONE_BIT
+// redo must replay the full group — node writes, root register, journal
+// clear — before scheme recovery runs.
+func TestEpochHalfDrainedCloseRecovers(t *testing.T) {
+	for _, s := range []Scheme{SchemeStrict, SchemeTriad, SchemeAGITPlus} {
+		t.Run(s.String(), func(t *testing.T) {
+			b := newEpochBonsai(t, s, 4)
+			for i := uint64(0); i < 3; i++ {
+				if err := b.WriteBlock(i*counter.SplitMinors, pattern(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The 4th write triggers the close. Budget: its own request
+			// group drains fully, then power dies after the close group's
+			// first entry — every close group has at least two (the root
+			// register and the journal clear), so the group always tears.
+			req := 2 // data + journal note
+			if s == SchemeStrict || s == SchemeTriad {
+				req++ // per-write counter persist
+			}
+			b.Device().SetPushBudget(req + 1)
+			if err := b.WriteBlock(3*counter.SplitMinors, pattern(3)); err != nil {
+				t.Fatal(err)
+			}
+			if !b.Device().DoneBit() {
+				t.Fatal("close group drained fully; budget did not bite")
+			}
+			b.Crash()
+			if _, err := b.Recover(); err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			for i := uint64(0); i < 4; i++ {
+				got, err := b.ReadBlock(i * counter.SplitMinors)
+				if err != nil {
+					t.Fatalf("read %d: %v", i, err)
+				}
+				if got != pattern(i) {
+					t.Fatalf("block %d lost its latest value", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEpochPageOverflowFallsBackToLegacy checks a minor-counter
+// overflow inside a window closes it and re-encrypts via the legacy
+// path.
+func TestEpochPageOverflowFallsBackToLegacy(t *testing.T) {
+	b := newEpochBonsai(t, SchemeOsiris, 1<<20)
+	for i := 0; i <= counter.MinorMax+1; i++ {
+		if err := b.WriteBlock(0, pattern(uint64(i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if b.Stats().PageOverflows == 0 {
+		t.Fatal("overflow did not happen")
+	}
+	got, err := b.ReadBlock(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pattern(uint64(counter.MinorMax+1)) {
+		t.Fatal("post-overflow value lost")
+	}
+	// The overflow write ran outside the window; later writes reopen it.
+	if err := b.WriteBlock(counter.SplitMinors, pattern(7)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Device().JournalLen() == 0 {
+		t.Fatal("window did not reopen after the overflow fallback")
+	}
+}
+
+// TestEpochCoalescingReducesStrictTraffic is the point of the tentpole:
+// under strict persistence, N writes sharing a root path must persist
+// each shared ancestor once per epoch, not once per write.
+func TestEpochCoalescingReducesStrictTraffic(t *testing.T) {
+	run := func(epoch int) uint64 {
+		b := newEpochBonsai(t, SchemeStrict, epoch)
+		for i := uint64(0); i < 64; i++ {
+			if err := b.WriteBlock(i%8, pattern(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.FlushEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		return b.Stats().StrictWrites
+	}
+	legacy, coalesced := run(0), run(16)
+	if coalesced >= legacy {
+		t.Fatalf("coalescing did not reduce strict writes: %d vs legacy %d", coalesced, legacy)
+	}
+}

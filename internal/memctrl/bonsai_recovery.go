@@ -57,6 +57,26 @@ func (b *Bonsai) doRecover() (*RecoveryReport, error) {
 		if !ok {
 			return rep, fmt.Errorf("%w: missing root register", ErrUnrecoverable)
 		}
+		if b.dev.JournalLen() > 0 {
+			// The crash fell inside an open epoch window: NVM counters
+			// are current (strict persistence) but the tree and register
+			// still describe the epoch start. Two-pass journal recovery:
+			// roll journaled counters back to Old, check the stale
+			// register, then replay New and re-anchor.
+			entries, _, err := b.epochJournal(rep)
+			if err != nil {
+				return rep, err
+			}
+			levels := b.epochAncestorLevels(entries)
+			b.epochWriteCounters(entries, true, rep)
+			b.epochRecompute(levels, rep)
+			if got := b.epochRootNVM(rep); got != root {
+				return rep, fmt.Errorf("%w: epoch-start root %#x != stored root %#x", ErrUnrecoverable, got, root)
+			}
+			b.epochReplayAndAnchor(entries, levels, rep)
+			b.crashed = false
+			return rep, nil
+		}
 		b.rootHash = root
 		b.crashed = false
 		return rep, nil
@@ -145,8 +165,19 @@ func (b *Bonsai) fixCounterBlock(page uint64, rep *RecoveryReport) error {
 
 // recoverOsirisFull is the no-Anubis baseline: every counter block in
 // the whole memory is repaired, then the complete tree is rebuilt.
+// Counter pages tracked by the epoch journal skip the ECC trials — the
+// journal records their exact content — and go through the two-pass
+// rollback/replay instead.
 func (b *Bonsai) recoverOsirisFull(rep *RecoveryReport) (*RecoveryReport, error) {
+	entries, journaled, err := b.epochJournal(rep)
+	if err != nil {
+		return rep, err
+	}
+	b.epochWriteCounters(entries, true, rep) // pass A: epoch-start content
 	for page := uint64(0); page < b.numPages; page++ {
+		if journaled[page] {
+			continue
+		}
 		if err := b.fixCounterBlock(page, rep); err != nil {
 			return rep, err
 		}
@@ -163,7 +194,11 @@ func (b *Bonsai) recoverOsirisFull(rep *RecoveryReport) (*RecoveryReport, error)
 	if root != want {
 		return rep, fmt.Errorf("%w: rebuilt root %#x != stored root %#x", ErrUnrecoverable, root, want)
 	}
-	b.rootHash = root
+	if len(entries) > 0 {
+		b.epochReplayAndAnchor(entries, b.epochAncestorLevels(entries), rep)
+	} else {
+		b.rootHash = root
+	}
 	b.crashed = false
 	return rep, nil
 }
@@ -176,6 +211,18 @@ func (b *Bonsai) recoverOsirisFull(rep *RecoveryReport) (*RecoveryReport, error)
 // still memory-bound, which is the contrast with Anubis the paper draws
 // in §7.
 func (b *Bonsai) recoverTriad(rep *RecoveryReport) (*RecoveryReport, error) {
+	// Epoch-journal pass A: with the pipeline on, the per-write counter
+	// persists are current but the coalesced lower-level node persists
+	// only land at epoch close — NVM's lower tree describes the epoch
+	// start. Roll journaled counters back and restore their lower paths
+	// before the upper rebuild checks the (stale) register.
+	entries, _, jerr := b.epochJournal(rep)
+	if jerr != nil {
+		return rep, jerr
+	}
+	jLevels := b.epochAncestorLevels(entries)
+	b.epochWriteCounters(entries, true, rep)
+	b.epochRecompute(jLevels, rep)
 	start := b.cfg.TriadLevels
 	if start > b.geom.Levels() {
 		start = b.geom.Levels()
@@ -185,15 +232,16 @@ func (b *Bonsai) recoverTriad(rep *RecoveryReport) (*RecoveryReport, error) {
 			b.recomputeNode(level, idx, rep)
 		}
 	}
-	rootNode := b.treeNodeNVM(b.geom.Flat(b.geom.RootLevel(), 0))
-	rep.FetchOps++
-	rep.CryptoOps++
-	root := b.eng.ContentHash(rootNode[:])
+	root := b.epochRootNVM(rep)
 	want, _ := b.dev.GetReg64(regBonsaiRoot)
 	if root != want {
 		return rep, fmt.Errorf("%w: rebuilt root %#x != stored root %#x", ErrUnrecoverable, root, want)
 	}
-	b.rootHash = root
+	if len(entries) > 0 {
+		b.epochReplayAndAnchor(entries, jLevels, rep)
+	} else {
+		b.rootHash = root
+	}
 	b.crashed = false
 	return rep, nil
 }
@@ -209,6 +257,15 @@ func (b *Bonsai) recoverTriad(rep *RecoveryReport) (*RecoveryReport, error) {
 // data so that old values verify as current — a replay. Recovery is
 // also O(memory): the whole tree must be reconstructed.
 func (b *Bonsai) recoverSelective(rep *RecoveryReport) (*RecoveryReport, error) {
+	// Trust-on-boot has no stale-root check to satisfy, so there is no
+	// pass A: the journal's latest content is applied directly before
+	// the rebuild re-anchors the register.
+	entries, _, jerr := b.epochJournal(rep)
+	if jerr != nil {
+		return rep, jerr
+	}
+	b.epochWriteCounters(entries, false, rep)
+	b.dev.JournalReset()
 	root := merkle.BuildGeneral(b.geom, b.eng,
 		func(i uint64) [BlockBytes]byte { return b.dev.Read(nvm.RegionCounter, i) },
 		func(flat uint64, n merkle.GNode) {
@@ -225,8 +282,21 @@ func (b *Bonsai) recoverSelective(rep *RecoveryReport) (*RecoveryReport, error) 
 	return rep, nil
 }
 
-// recoverAGIT implements Algorithm 1 of the paper.
+// recoverAGIT implements Algorithm 1 of the paper, extended with the
+// epoch journal's two-pass rollback/replay: journaled counter blocks
+// have exact content on chip (no ECC trials), and their deferred root
+// paths — which may have no SMT entry, since mid-epoch writes touch no
+// tree nodes — join the recompute set.
 func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
+	// 0. Epoch-journal pass A: roll journaled counters back to their
+	// epoch-start content, the state the stale root register covers.
+	entries, journaled, jerr := b.epochJournal(rep)
+	if jerr != nil {
+		return rep, jerr
+	}
+	jLevels := b.epochAncestorLevels(entries)
+	b.epochWriteCounters(entries, true, rep)
+
 	// 1. Read the SCT and repair every tracked counter block. The
 	// restored tables also become the controller's live mirrors: a
 	// mirror that disagreed with NVM would corrupt neighbouring entries
@@ -248,6 +318,9 @@ func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
 		// deep in the wear-leveling map during repair.
 		if tr.Key >= b.numPages {
 			return rep, fmt.Errorf("%w: SCT tracks counter page %#x beyond memory (%d pages)", ErrUnrecoverable, tr.Key, b.numPages)
+		}
+		if journaled[tr.Key] {
+			continue // exact content came from the epoch journal
 		}
 		if err := b.fixCounterBlock(tr.Key, rep); err != nil {
 			return rep, err
@@ -278,26 +351,35 @@ func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
 	}
 
 	// 3. Recompute affected nodes bottom-up: repairing a level relies on
-	// the level below being already fixed (Algorithm 1, line 9+).
+	// the level below being already fixed (Algorithm 1, line 9+). The
+	// journaled pages' root paths join the set: their updates were
+	// deferred, so no SMT entry tracks them.
 	for level := 0; level < b.geom.Levels(); level++ {
-		idxs := byLevel[level]
+		idxs := append(byLevel[level], jLevels[level]...)
 		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-		for _, idx := range idxs {
+		prev := uint64(0)
+		for k, idx := range idxs {
+			if k > 0 && idx == prev {
+				continue
+			}
+			prev = idx
 			b.recomputeNode(level, idx, rep)
 		}
 	}
 
 	// 4. Compare the resulting root against the on-chip root register.
-	rootFlat := b.geom.Flat(b.geom.RootLevel(), 0)
-	rootNode := b.treeNodeNVM(rootFlat)
-	rep.FetchOps++
-	rep.CryptoOps++
-	root := b.eng.ContentHash(rootNode[:])
+	root := b.epochRootNVM(rep)
 	want, _ := b.dev.GetReg64(regBonsaiRoot)
 	if root != want {
 		return rep, fmt.Errorf("%w: recovered root %#x != stored root %#x", ErrUnrecoverable, root, want)
 	}
-	b.rootHash = root
+
+	// 5. Epoch-journal pass B: replay the latest content and re-anchor.
+	if len(entries) > 0 {
+		b.epochReplayAndAnchor(entries, jLevels, rep)
+	} else {
+		b.rootHash = root
+	}
 	b.crashed = false
 	return rep, nil
 }
@@ -325,4 +407,104 @@ func (b *Bonsai) recomputeNode(level int, idx uint64, rep *RecoveryReport) {
 	b.dev.WriteRaw(nvm.RegionTree, b.geom.Flat(level, idx), node)
 	rep.FetchOps++
 	rep.NodesRebuilt++
+}
+
+// --- epoch-journal two-pass recovery helpers --------------------------------
+//
+// A crash inside an open epoch window (bonsai_epoch.go) leaves the root
+// register anchoring the epoch-start state while NVM may already hold
+// newer journaled content. The on-chip journal records, per touched
+// counter page, both the epoch-start content (Old — what the stale
+// register covers) and the authoritative latest content (New). Recovery
+// runs two passes over it:
+//
+//	pass A  write Old back, restore the journaled root paths, and
+//	        verify the recomputed root against the stale register;
+//	pass B  write New, recompute the same paths, anchor the fresh
+//	        root, and clear the journal.
+
+// epochJournal returns the journal's entries with their keys
+// bounds-checked, plus the journaled-page set, and records the count in
+// the report. Empty (not an error) when no window was open.
+func (b *Bonsai) epochJournal(rep *RecoveryReport) ([]nvm.JournalEntry, map[uint64]bool, error) {
+	if b.dev.JournalLen() == 0 {
+		return nil, nil, nil
+	}
+	entries := b.dev.JournalEntries()
+	pages := make(map[uint64]bool, len(entries))
+	for i := range entries {
+		if entries[i].Key >= b.numPages {
+			return nil, nil, fmt.Errorf("%w: epoch journal tracks counter page %#x beyond memory (%d pages)",
+				ErrUnrecoverable, entries[i].Key, b.numPages)
+		}
+		pages[entries[i].Key] = true
+	}
+	rep.JournalPages = uint64(len(entries))
+	return entries, pages, nil
+}
+
+// epochAncestorLevels returns, per tree level, the sorted deduplicated
+// node indices on the journaled pages' root paths. The outer slice
+// always has geom.Levels() entries (all nil for an empty journal).
+func (b *Bonsai) epochAncestorLevels(entries []nvm.JournalEntry) [][]uint64 {
+	out := make([][]uint64, b.geom.Levels())
+	seen := make(map[uint64]bool)
+	for i := range entries {
+		child := entries[i].Key
+		for level := 0; level < b.geom.Levels(); level++ {
+			idx := child / merkle.Arity
+			flat := b.geom.Flat(level, idx)
+			if !seen[flat] {
+				seen[flat] = true
+				out[level] = append(out[level], idx)
+			}
+			child = idx
+		}
+	}
+	for _, idxs := range out {
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	}
+	return out
+}
+
+// epochWriteCounters lands each journaled page's Old (pass A) or New
+// (pass B) content in the counter region.
+func (b *Bonsai) epochWriteCounters(entries []nvm.JournalEntry, old bool, rep *RecoveryReport) {
+	for i := range entries {
+		blk := entries[i].New
+		if old {
+			blk = entries[i].Old
+		}
+		b.dev.WriteRaw(nvm.RegionCounter, entries[i].Key, blk)
+		rep.FetchOps++
+	}
+}
+
+// epochRecompute rebuilds the given per-level node sets bottom-up.
+func (b *Bonsai) epochRecompute(levels [][]uint64, rep *RecoveryReport) {
+	for level, idxs := range levels {
+		for _, idx := range idxs {
+			b.recomputeNode(level, idx, rep)
+		}
+	}
+}
+
+// epochRootNVM hashes the root node currently in NVM.
+func (b *Bonsai) epochRootNVM(rep *RecoveryReport) uint64 {
+	rootNode := b.treeNodeNVM(b.geom.Flat(b.geom.RootLevel(), 0))
+	rep.FetchOps++
+	rep.CryptoOps++
+	return b.eng.ContentHash(rootNode[:])
+}
+
+// epochReplayAndAnchor is pass B: replay the journal's latest content,
+// recompute the journaled root paths, install the fresh root and clear
+// the journal.
+func (b *Bonsai) epochReplayAndAnchor(entries []nvm.JournalEntry, levels [][]uint64, rep *RecoveryReport) {
+	b.epochWriteCounters(entries, false, rep)
+	b.epochRecompute(levels, rep)
+	root := b.epochRootNVM(rep)
+	b.rootHash = root
+	b.dev.SetReg64(regBonsaiRoot, root)
+	b.dev.JournalReset()
 }

@@ -53,6 +53,15 @@ func (b *Bonsai) Clone() Controller {
 	n.defNodeHash = append([]uint64(nil), b.defNodeHash...)
 	n.wl = b.wl.clone(n.dev)
 	n.pending = append([]nvm.PendingWrite(nil), b.pending...)
+	if b.epochDirty != nil {
+		n.epochDirty = make(map[uint64]struct{}, len(b.epochDirty))
+		for p := range b.epochDirty {
+			n.epochDirty[p] = struct{}{}
+		}
+	}
+	// Close-time scratch is rebuilt on demand; sharing the backing
+	// arrays across goroutines would race.
+	n.epochPages, n.epochHash = nil, nil
 	// Probes are per-controller observers (a trace Scope's sampling
 	// counter is not goroutine-safe); clones start unobserved and the
 	// caller attaches its own probe if it wants one.
@@ -77,6 +86,14 @@ func (c *SGX) Clone() Controller {
 	n.wl = c.wl.clone(n.dev)
 	n.pending = append([]nvm.PendingWrite(nil), c.pending...)
 	n.wbq = append([]cache.Victim(nil), c.wbq...)
+	if c.epochSlots != nil {
+		n.epochSlots = make(map[uint64]struct{}, len(c.epochSlots))
+		for s := range c.epochSlots {
+			n.epochSlots[s] = struct{}{}
+		}
+	}
+	// Close-time scratch is rebuilt on demand; see Bonsai.Clone.
+	n.epochOrder, n.epochHash = nil, nil
 	n.probe = nil // see Bonsai.Clone
 	return n
 }

@@ -1,0 +1,211 @@
+package memctrl
+
+import (
+	"testing"
+
+	"anubis/internal/counter"
+)
+
+var sgxEpochSchemes = []Scheme{SchemeWriteBack, SchemeStrict, SchemeOsiris, SchemeASIT}
+
+func newEpochSGX(t *testing.T, s Scheme, epoch int) *SGX {
+	t.Helper()
+	cfg := TestConfig(s)
+	cfg.EpochRequests = epoch
+	c, err := NewSGX(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSGXEpochWriteReadRoundTrip(t *testing.T) {
+	c := newEpochSGX(t, SchemeASIT, 4)
+	n := c.NumBlocks()
+	// One block per counter leaf: far more leaves than the metadata
+	// cache holds, so mid-epoch evictions (and their deferred parent
+	// shadow refreshes) are exercised across many epoch closes.
+	for i := uint64(0); i < 200; i++ {
+		addr := (i * counter.SGXCounters) % n
+		if err := c.WriteBlock(addr, pattern(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i := uint64(0); i < 200; i++ {
+		addr := (i * counter.SGXCounters) % n
+		got, err := c.ReadBlock(addr)
+		if err != nil {
+			t.Fatalf("read back %d: %v", i, err)
+		}
+		if got != pattern(i) {
+			t.Fatalf("block %d corrupted", addr)
+		}
+	}
+}
+
+// TestSGXEpochOneIsStructurallyLegacy checks the byte-identity
+// contract: EpochRequests 0 and 1 select the legacy eager path for
+// ASIT, and the non-ASIT SGX schemes have no deferred state at any
+// epoch size — identical timing, statistics, and persistent state.
+func TestSGXEpochOneIsStructurallyLegacy(t *testing.T) {
+	for _, s := range sgxEpochSchemes {
+		t.Run(s.String(), func(t *testing.T) {
+			run := func(epoch int) *SGX {
+				c := newEpochSGX(t, s, epoch)
+				for i := uint64(0); i < 120; i++ {
+					addr := (i * 37) % c.NumBlocks()
+					if err := c.WriteBlock(addr, pattern(i)); err != nil {
+						t.Fatal(err)
+					}
+					if i%3 == 0 {
+						if _, err := c.ReadBlock(addr); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				return c
+			}
+			epochs := []int{0, 1}
+			if s != SchemeASIT {
+				epochs = append(epochs, 16) // epoch size is a no-op without deferred state
+			}
+			base := run(epochs[0])
+			for _, e := range epochs[1:] {
+				other := run(e)
+				if base.Now() != other.Now() {
+					t.Fatalf("epoch %d: virtual clocks diverge: %d vs %d", e, base.Now(), other.Now())
+				}
+				if base.Stats() != other.Stats() {
+					t.Fatalf("epoch %d: stats diverge:\n%+v\n%+v", e, base.Stats(), other.Stats())
+				}
+				if base.Device().StateDigest() != other.Device().StateDigest() {
+					t.Fatalf("epoch %d: persistent state diverges", e)
+				}
+			}
+		})
+	}
+}
+
+// TestSGXEpochRootMatchesLegacyAfterClose checks that after the window
+// drains, the coalesced path recomputation anchors the exact same
+// SHADOW_TREE_ROOT the eager per-write path would have: the tree is a
+// function of shadow-table content only.
+func TestSGXEpochRootMatchesLegacyAfterClose(t *testing.T) {
+	write := func(c *SGX) {
+		for i := uint64(0); i < 100; i++ {
+			addr := (i * counter.SGXCounters * 3) % c.NumBlocks()
+			if err := c.WriteBlock(addr, pattern(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	legacy, epoch := newEpochSGX(t, SchemeASIT, 0), newEpochSGX(t, SchemeASIT, 16)
+	write(legacy)
+	write(epoch)
+	if err := epoch.FlushEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	lr, _ := legacy.Device().GetReg64(regShadowTreeRoot)
+	er, _ := epoch.Device().GetReg64(regShadowTreeRoot)
+	if lr != er {
+		t.Fatalf("shadow tree roots disagree after close: %#x vs %#x", lr, er)
+	}
+	if epoch.Device().JournalLen() != 0 {
+		t.Fatalf("journal not cleared by close: %d entries", epoch.Device().JournalLen())
+	}
+}
+
+// TestSGXEpochJournalLifecycle checks the journal mirrors the open
+// window: entries accumulate mid-epoch and the close clears them.
+func TestSGXEpochJournalLifecycle(t *testing.T) {
+	c := newEpochSGX(t, SchemeASIT, 4)
+	for i := uint64(0); i < 3; i++ {
+		if err := c.WriteBlock(i*counter.SGXCounters, pattern(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Device().JournalLen(); got != 3 {
+		t.Fatalf("mid-epoch journal has %d entries, want 3", got)
+	}
+	if err := c.WriteBlock(3*counter.SGXCounters, pattern(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Device().JournalLen(); got != 0 {
+		t.Fatalf("journal survived the close: %d entries", got)
+	}
+}
+
+// TestSGXEpochMidWindowCrashRecovery crashes ASIT with the window open
+// (SHADOW_TREE_ROOT stale, every touched shadow-table block only in the
+// journal's New): the two-pass replay must verify the epoch-start table
+// against the stale register, then reinstate the interrupted state.
+func TestSGXEpochMidWindowCrashRecovery(t *testing.T) {
+	c := newEpochSGX(t, SchemeASIT, 1<<20) // window never closes on its own
+	n := c.NumBlocks()
+	for i := uint64(0); i < 60; i++ {
+		addr := (i * counter.SGXCounters) % n
+		if err := c.WriteBlock(addr, pattern(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Device().JournalLen() == 0 {
+		t.Fatal("window closed unexpectedly")
+	}
+	c.Crash()
+	rep, err := c.Recover()
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if rep.JournalPages == 0 {
+		t.Fatal("recovery did not replay the epoch journal")
+	}
+	if c.Device().JournalLen() != 0 {
+		t.Fatal("journal not cleared after recovery")
+	}
+	for i := uint64(0); i < 60; i++ {
+		addr := (i * counter.SGXCounters) % n
+		got, err := c.ReadBlock(addr)
+		if err != nil {
+			t.Fatalf("post-recovery read %d: %v", i, err)
+		}
+		if got != pattern(i) {
+			t.Fatalf("block %d lost its latest value", addr)
+		}
+	}
+}
+
+// TestSGXEpochHalfDrainedCloseRecovers crashes with the close's commit
+// group half-drained: the DONE_BIT redo must replay the full group —
+// fresh SHADOW_TREE_ROOT and journal clear — before ASIT recovery runs.
+func TestSGXEpochHalfDrainedCloseRecovers(t *testing.T) {
+	c := newEpochSGX(t, SchemeASIT, 4)
+	for i := uint64(0); i < 3; i++ {
+		if err := c.WriteBlock(i*counter.SGXCounters, pattern(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The 4th write triggers the close. Its own group has three entries
+	// (shadow-table block, journal note, data); the close group has two
+	// (root register, journal clear). Budget 4: the request group drains
+	// fully, then power dies after the close group's first entry.
+	c.Device().SetPushBudget(3 + 1)
+	if err := c.WriteBlock(3*counter.SGXCounters, pattern(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Device().DoneBit() {
+		t.Fatal("close group drained fully; budget did not bite")
+	}
+	c.Crash()
+	if _, err := c.Recover(); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		got, err := c.ReadBlock(i * counter.SGXCounters)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != pattern(i) {
+			t.Fatalf("block %d lost its latest value", i)
+		}
+	}
+}

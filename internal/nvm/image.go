@@ -33,6 +33,11 @@ type deviceImage struct {
 
 	Staged  []PendingWrite
 	DoneBit bool
+
+	// Journal is the persistent epoch journal (see journal.go). Absent
+	// in pre-epoch images; gob leaves the field nil, which loads as an
+	// empty journal.
+	Journal []JournalEntry
 }
 
 // Save writes the device's persistent state to w.
@@ -44,6 +49,7 @@ func (d *Device) Save(w io.Writer) error {
 		Regs:    d.regs,
 		Staged:  d.staged,
 		DoneBit: d.doneBit,
+		Journal: d.journal,
 	}
 	for r := Region(0); r < numRegions; r++ {
 		store := make(map[uint64][BlockBytes]byte)
@@ -154,9 +160,28 @@ func (d *Device) StateDigest() uint64 {
 		for i := 0; i < len(w.RegName); i++ {
 			mix(w.RegName[i])
 		}
+		if w.JOp != JournalNone {
+			mix(byte(w.JOp))
+			mix64(w.JKey)
+			for _, b := range w.JOld {
+				mix(b)
+			}
+		}
 	}
 	if d.doneBit {
 		mix(1)
+	}
+	// Journal entries in note order: the order recovery replays them in
+	// is part of the persistent state.
+	for i := range d.journal {
+		e := &d.journal[i]
+		mix64(e.Key)
+		for _, b := range e.Old {
+			mix(b)
+		}
+		for _, b := range e.New {
+			mix(b)
+		}
 	}
 	return h
 }
@@ -197,5 +222,12 @@ func LoadDevice(r io.Reader) (*Device, error) {
 	}
 	d.staged = img.Staged
 	d.doneBit = img.DoneBit
+	if len(img.Journal) > 0 {
+		d.journal = img.Journal
+		d.journalIdx = make(map[uint64]int, len(img.Journal))
+		for i := range img.Journal {
+			d.journalIdx[img.Journal[i].Key] = i
+		}
+	}
 	return d, nil
 }

@@ -27,12 +27,17 @@ const (
 	EvRecovery
 	// EvPhase is a harness-level phase marker (warm-up, sweep, trial).
 	EvPhase
+	// EvEpochClose is one coalesced epoch drain: the deferred integrity-
+	// tree updates of a whole epoch hitting the WPQ as one commit group
+	// (arg = coalesced ancestor count).
+	EvEpochClose
 
 	numEventKinds = iota
 )
 
 var eventNames = [numEventKinds]string{
 	"read", "write", "eviction", "commit", "page_overflow", "recovery", "phase",
+	"epoch_close",
 }
 
 // String returns the kind's trace-event name.

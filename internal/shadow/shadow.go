@@ -266,24 +266,41 @@ func (t *STTable) Live() []Tracked {
 
 // --- bit helpers -------------------------------------------------------------
 
+// putBits writes the low `width` (≤ 57) bits of v at bit offset off as
+// one masked 64-bit read-modify-write instead of a branch per bit: the
+// ST entry codec packs eight 49-bit fields per block and sits on
+// ASIT's per-write hot path.
 func putBits(buf []byte, off, width int, v uint64) {
-	for i := 0; i < width; i++ {
-		idx := off + i
-		if (v>>uint(i))&1 != 0 {
-			buf[idx/8] |= 1 << uint(idx%8)
-		} else {
-			buf[idx/8] &^= 1 << uint(idx%8)
-		}
+	i, shift := off>>3, uint(off&7)
+	mask := uint64(1)<<uint(width) - 1
+	v &= mask
+	if i+8 <= len(buf) {
+		w := binary.LittleEndian.Uint64(buf[i:])
+		binary.LittleEndian.PutUint64(buf[i:], w&^(mask<<shift)|v<<shift)
+		return
+	}
+	var w uint64
+	n := len(buf) - i
+	for j := 0; j < n; j++ {
+		w |= uint64(buf[i+j]) << uint(8*j)
+	}
+	w = w&^(mask<<shift) | v<<shift
+	for j := 0; j < n; j++ {
+		buf[i+j] = byte(w >> uint(8*j))
 	}
 }
 
+// getBits reads `width` (≤ 57) bits at bit offset off with one word
+// load; see putBits.
 func getBits(buf []byte, off, width int) uint64 {
-	var v uint64
-	for i := 0; i < width; i++ {
-		idx := off + i
-		if buf[idx/8]&(1<<uint(idx%8)) != 0 {
-			v |= 1 << uint(i)
+	i, shift := off>>3, uint(off&7)
+	var w uint64
+	if i+8 <= len(buf) {
+		w = binary.LittleEndian.Uint64(buf[i:])
+	} else {
+		for j := i; j < len(buf); j++ {
+			w |= uint64(buf[j]) << uint(8*(j-i))
 		}
 	}
-	return v
+	return w >> shift & (uint64(1)<<uint(width) - 1)
 }

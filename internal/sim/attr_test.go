@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -57,43 +58,52 @@ func (p *sumCheckProbe) Event(kind obs.EventKind, startNS, endNS, arg uint64) {
 	}
 }
 
-// TestAttributionSumExact runs every profile × scheme cell and checks
-// the two invariant levels: per-request component sums equal request
-// latency, and the whole-run ledger total equals the controller clock
-// (ExecNS), i.e. not one simulated nanosecond is unattributed or
-// double-counted.
+// TestAttributionSumExact runs every profile × scheme cell — at every
+// epoch-pipeline window size, since the coalesced close adds simulated
+// time outside any request window — and checks the two invariant
+// levels: per-request component sums equal request latency, and the
+// whole-run ledger total equals the controller clock (ExecNS), i.e.
+// not one simulated nanosecond is unattributed or double-counted.
 func TestAttributionSumExact(t *testing.T) {
 	profiles := trace.SPEC2006()
 	if testing.Short() {
 		profiles = profiles[:3]
 	}
 	const nReq = 1200
-	for _, cell := range attrCells {
-		for _, p := range profiles {
-			cfg := memctrl.TestConfig(cell.scheme)
-			ctrl, err := NewController(cell.family, cfg)
-			if err != nil {
-				t.Fatal(err)
+	// 0/1 are the legacy eager path; 8 and 32 arm the coalescing
+	// pipeline, whose epoch closes (including the end-of-run flush) burn
+	// controller time between requests that the ledger must still book.
+	for _, epoch := range []int{0, 1, 8, 32} {
+		t.Run(fmt.Sprintf("epoch=%d", epoch), func(t *testing.T) {
+			for _, cell := range attrCells {
+				for _, p := range profiles {
+					cfg := memctrl.TestConfig(cell.scheme)
+					cfg.EpochRequests = epoch
+					ctrl, err := NewController(cell.family, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					probe := &sumCheckProbe{t: t}
+					gen := trace.NewGenerator(p.Scaled(ctrl.NumBlocks()), 99)
+					res, err := RunObserved(ctrl, gen, nReq, probe)
+					if err != nil {
+						t.Fatalf("%v/%v/%s: %v", cell.family, cell.scheme, p.Name, err)
+					}
+					if probe.requests != nReq {
+						t.Fatalf("%v/%v/%s: probe saw %d requests, want %d",
+							cell.family, cell.scheme, p.Name, probe.requests, nReq)
+					}
+					if got := res.Stats.Attribution.Total(); got != res.ExecNS {
+						t.Fatalf("%v/%v/%s: run ledger sums to %d, ExecNS is %d (%+v)",
+							cell.family, cell.scheme, p.Name, got, res.ExecNS, res.Stats.Attribution.Map())
+					}
+					if res.Stats.Attribution.Get(obs.CompCPUGap) == 0 {
+						t.Fatalf("%v/%v/%s: no cpu gap attributed over %d requests",
+							cell.family, cell.scheme, p.Name, nReq)
+					}
+				}
 			}
-			probe := &sumCheckProbe{t: t}
-			gen := trace.NewGenerator(p.Scaled(ctrl.NumBlocks()), 99)
-			res, err := RunObserved(ctrl, gen, nReq, probe)
-			if err != nil {
-				t.Fatalf("%v/%v/%s: %v", cell.family, cell.scheme, p.Name, err)
-			}
-			if probe.requests != nReq {
-				t.Fatalf("%v/%v/%s: probe saw %d requests, want %d",
-					cell.family, cell.scheme, p.Name, probe.requests, nReq)
-			}
-			if got := res.Stats.Attribution.Total(); got != res.ExecNS {
-				t.Fatalf("%v/%v/%s: run ledger sums to %d, ExecNS is %d (%+v)",
-					cell.family, cell.scheme, p.Name, got, res.ExecNS, res.Stats.Attribution.Map())
-			}
-			if res.Stats.Attribution.Get(obs.CompCPUGap) == 0 {
-				t.Fatalf("%v/%v/%s: no cpu gap attributed over %d requests",
-					cell.family, cell.scheme, p.Name, nReq)
-			}
-		}
+		})
 	}
 }
 

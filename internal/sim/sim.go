@@ -143,10 +143,23 @@ func RunObserved(ctrl memctrl.Controller, gen trace.Source, nReq int, probe obs.
 			}
 		}
 	}
+	// Close any open epoch window (bank-parallel epoch pipeline) so the
+	// reported execution time and device state cover the whole workload;
+	// legacy controllers and configs don't implement or no-op it.
+	if f, ok := ctrl.(epochFlusher); ok {
+		if err := f.FlushEpoch(); err != nil {
+			return res, fmt.Errorf("sim: epoch flush: %w", err)
+		}
+	}
 	res.ExecNS = ctrl.Now()
 	res.Stats = ctrl.Stats()
 	return res, nil
 }
+
+// epochFlusher is implemented by controllers with a deferred-update
+// epoch pipeline; matched by assertion like probeSetter, so the
+// Controller interface stays family-agnostic.
+type epochFlusher interface{ FlushEpoch() error }
 
 // FillBlock writes deterministic content so every write has distinct
 // data. Exported so the crash-injection fuzzer can regenerate the exact

@@ -60,6 +60,8 @@ func load(path string) (*report, error) {
 func main() {
 	maxRegress := flag.Float64("max-regress", 0,
 		"fail (exit 1) if any shared figure regresses by more than this percent (0 = report only)")
+	epochSweep := flag.Bool("epoch-sweep", false,
+		"diff the epoch-pipeline records (epoch:1/4/16/64) of the two reports; simulated metrics are deterministic, so ANY drift at epoch:1 — against the legacy quick_seq:fig10 record or between the reports — fails (exit 1)")
 	maxAttrRegress := flag.Float64("max-attr-regress", 0,
 		"fail (exit 1) if any stall component's simulated ns/request grows by more than this percent (0 = report only); simulated time is deterministic, so tight thresholds are safe")
 	minAttrNS := flag.Float64("min-attr-ns", 1.0,
@@ -116,6 +118,12 @@ func main() {
 
 	worstAttr := compareAttribution(oldRep, newRep, *minAttrNS)
 
+	if *epochSweep {
+		if !compareEpochSweep(oldRep, newRep) {
+			os.Exit(1)
+		}
+	}
+
 	if shared == 0 && len(oldRep.Attribution) == 0 {
 		fmt.Println("no shared figures; nothing to compare")
 		return
@@ -134,6 +142,92 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// epochSizes are the coalescing-window sizes the suite records.
+var epochSizes = []int{1, 4, 16, 64}
+
+// compareEpochSweep diffs the epoch-pipeline records of two reports.
+// Simulated metrics (normalized averages, total simulated ns) are
+// deterministic for a fixed seed, so comparisons are exact: any drift
+// at epoch:1 — the window size contractually byte-identical to the
+// legacy path — is a determinism violation and fails the run. Larger
+// windows legitimately change simulated timing; their drift is
+// reported but never gates. Returns false on failure.
+func compareEpochSweep(oldRep, newRep *report,
+) bool {
+	byName := func(r *report) map[string]figureTiming {
+		m := make(map[string]figureTiming, len(r.Figures))
+		for _, f := range r.Figures {
+			m[f.Name] = f
+		}
+		return m
+	}
+	oldBy, newBy := byName(oldRep), byName(newRep)
+
+	fmt.Printf("\n  epoch-pipeline sweep (simulated metrics; exact comparison)\n")
+	ok := true
+
+	// Determinism anchor inside each report: epoch:1 must reproduce the
+	// legacy quick_seq:fig10 metrics bit for bit.
+	for _, side := range []struct {
+		label string
+		by    map[string]figureTiming
+	}{{"old", oldBy}, {"new", newBy}} {
+		e1, hasE1 := side.by["epoch:1"]
+		legacy, hasLegacy := side.by["quick_seq:fig10"]
+		if !hasE1 || !hasLegacy {
+			continue
+		}
+		for k, lv := range legacy.Metrics {
+			ev, shared := e1.Metrics[k]
+			if !shared {
+				continue
+			}
+			if ev != lv {
+				fmt.Fprintf(os.Stderr, "bench_compare: %s report: epoch:1 %s = %v, legacy quick_seq:fig10 = %v (determinism drift)\n",
+					side.label, k, ev, lv)
+				ok = false
+			}
+		}
+	}
+
+	for _, e := range epochSizes {
+		name := fmt.Sprintf("epoch:%d", e)
+		of, oldHas := oldBy[name]
+		nf, newHas := newBy[name]
+		switch {
+		case !oldHas && !newHas:
+			continue
+		case !oldHas || !newHas:
+			fmt.Printf("  %-28s only in %s report\n", name, map[bool]string{true: "new", false: "old"}[newHas])
+			continue
+		}
+		drift := false
+		keys := make([]string, 0, len(nf.Metrics))
+		for k := range nf.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ov, shared := of.Metrics[k]
+			if !shared {
+				continue
+			}
+			if nv := nf.Metrics[k]; nv != ov {
+				drift = true
+				fmt.Printf("  %-28s %s: %v -> %v\n", name, k, ov, nv)
+				if e == 1 {
+					fmt.Fprintf(os.Stderr, "bench_compare: epoch:1 %s drifted between reports (determinism violation)\n", k)
+					ok = false
+				}
+			}
+		}
+		if !drift {
+			fmt.Printf("  %-28s identical\n", name)
+		}
+	}
+	return ok
 }
 
 // compareAttribution diffs the per-component stall ledgers of two
