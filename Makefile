@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-smoke bench-device bench-epoch bench-json bench-tools fuzz-tools fuzz-smoke fuzz fmt clean
+.PHONY: all build vet test race verify bench bench-smoke bench-device bench-epoch bench-shard bench-json bench-tools fuzz-tools fuzz-smoke fuzz fmt clean
 
 all: verify
 
@@ -52,14 +52,33 @@ bench-epoch:
 	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
 		-parallel 1 -seed 99 -epoch 16 > /dev/null
 
+# Intra-trial shard smoke: the reduced fig10 sweep must be
+# byte-identical between the legacy engine (shard 0) and the sharded
+# engine at 1, 4 and 8 workers — the shard oracle's metric-neutrality
+# contract. Wall-clock lines are stripped before comparing; every
+# simulated metric is exact.
+bench-shard:
+	mkdir -p results
+	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
+		-parallel 1 -seed 99 -shard 0 | grep -v 'ms wall' > results/shard0.txt
+	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
+		-parallel 1 -seed 99 -shard 1 | grep -v 'ms wall' > results/shard1.txt
+	cmp results/shard0.txt results/shard1.txt
+	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
+		-parallel 1 -seed 99 -shard 4 | grep -v 'ms wall' > results/shard4.txt
+	cmp results/shard0.txt results/shard4.txt
+	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
+		-parallel 1 -seed 99 -shard 8 | grep -v 'ms wall' > results/shard8.txt
+	cmp results/shard0.txt results/shard8.txt
+
 # PR-tracking benchmark record: the fixed suite matrix (quick + full
-# scale, sequential + parallel, epoch-pipeline sweep, forked-vs-cold
-# recovery sweep) written to results/BENCH_6.json. Compare against the
-# previous PR's record:
-#   go run ./scripts/bench_compare -epoch-sweep results/BENCH_3.json results/BENCH_6.json
+# scale, sequential + parallel, epoch-pipeline sweep, intra-trial
+# shard sweep, forked-vs-cold recovery sweep) written to
+# results/BENCH_7.json. Compare against the previous PR's record:
+#   go run ./scripts/bench_compare -epoch-sweep -shard-sweep results/BENCH_6.json results/BENCH_7.json
 bench-json:
 	mkdir -p results
-	$(GO) run ./cmd/anubis-bench -suite -trials 50 -json results/BENCH_6.json
+	$(GO) run ./cmd/anubis-bench -suite -trials 50 -json results/BENCH_7.json
 
 # Build-only smoke: the suite driver and the comparison tool keep
 # compiling. Deliberately runs no benchmarks (wall-clock is too noisy

@@ -66,6 +66,8 @@ func main() {
 		n     = flag.Int("n", 40000, "requests per (app, scheme) simulation")
 		epoch = flag.Int("epoch", 0,
 			"epoch pipeline window in write requests (coalesced integrity-tree updates); 0 or 1 = legacy eager path, byte-identical to pre-epoch builds")
+		shards = flag.Int("shard", 0,
+			"intra-trial shard workers per simulation (content-plane precompute; simulated metrics byte-identical at any count); 0 = legacy single-plane engine")
 		mem     = flag.Uint64("mem", 256<<20, "simulated memory bytes for performance runs")
 		apps    = flag.String("apps", "", "comma-separated app subset (default: all 11)")
 		seed    = flag.Int64("seed", 99, "trace generator seed")
@@ -133,6 +135,7 @@ func main() {
 	rc.Seed = *seed
 	rc.Parallel = *workers
 	rc.Epoch = *epoch
+	rc.Shard = *shards
 	if *apps != "" {
 		rc.Apps = strings.Split(*apps, ",")
 	}

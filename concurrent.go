@@ -76,6 +76,19 @@ func (s *SafeSystem) Flush() {
 	s.sys.Flush()
 }
 
+// Fork returns an independent, thread-safe copy-on-write clone of the
+// system (see System.Fork). The clone is taken under the wrapper's lock,
+// so — unlike System.Fork, which must not race with operations on the
+// parent — SafeSystem.Fork may be called while other goroutines are
+// actively reading and writing: the fork observes a consistent point
+// between their operations. The child gets its own lock; parent and
+// child never contend after the fork returns.
+func (s *SafeSystem) Fork() *SafeSystem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &SafeSystem{sys: s.sys.Fork()}
+}
+
 // Crash simulates a power failure.
 func (s *SafeSystem) Crash() {
 	s.mu.Lock()

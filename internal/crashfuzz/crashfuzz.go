@@ -5,7 +5,9 @@
 // power failure, so recovery correctness must be a continuously searched
 // property, not a handful of golden tests. A fuzz trial is a seeded
 // random schedule: workload profile × controller scheme × crash point ×
-// crash model × epoch coalescing-window size × optional post-crash ECC
+// crash model × epoch coalescing-window size × intra-trial shard worker
+// count (the warm fill runs through sim.RunSharded, which must leave
+// byte-identical recoverable state) × optional post-crash ECC
 // faults, optionally landing the crash inside a two-stage commit group
 // (the SetPushBudget mid-drain hook — which, with an epoch window
 // armed, can tear the close's coalesced commit group half-drained). The trial forks a warmed controller copy-on-write (PR 3), runs
@@ -152,6 +154,15 @@ type Schedule struct {
 	// the epoch journal, or inside a half-drained close commit group.
 	Epoch int
 
+	// Shard is the intra-trial shard worker count for the warm fill
+	// (sim.RunSharded): 0 runs the legacy single-plane engine; larger
+	// values precompute the content plane across that many workers. The
+	// sharded engine's metric- and state-neutrality contract means the
+	// crash/recovery behavior must be identical at every count — this
+	// dimension continuously audits that contract against the
+	// differential oracle.
+	Shard int
+
 	Warm  int // requests the shared warm parent executes before forking
 	Extra int // requests the forked child executes before the crash
 
@@ -181,6 +192,9 @@ func (s Schedule) String() string {
 		s.Profile, s.Combo, s.Model, s.Warm, s.Extra, s.MidCommit, s.Faults, s.TraceSeed, s.CrashSeed)
 	if s.Epoch != 0 {
 		tok += fmt.Sprintf(" epoch=%d", s.Epoch)
+	}
+	if s.Shard != 0 {
+		tok += fmt.Sprintf(" shard=%d", s.Shard)
 	}
 	return tok
 }
@@ -216,7 +230,7 @@ func ParseSchedule(tok string) (Schedule, error) {
 				return Schedule{}, fmt.Errorf("crashfuzz: unknown crash model %q", v)
 			}
 			s.Model = m
-		case "warm", "extra", "mid", "faults", "tseed", "cseed", "epoch":
+		case "warm", "extra", "mid", "faults", "tseed", "cseed", "epoch", "shard":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
 				return Schedule{}, fmt.Errorf("crashfuzz: field %s: %v", k, err)
@@ -236,6 +250,8 @@ func ParseSchedule(tok string) (Schedule, error) {
 				s.CrashSeed = n
 			case "epoch":
 				s.Epoch = int(n)
+			case "shard":
+				s.Shard = int(n)
 			}
 		default:
 			return Schedule{}, fmt.Errorf("crashfuzz: unknown token field %q", k)
@@ -251,7 +267,7 @@ func (s *Schedule) validate() error {
 	if s.Profile == "" {
 		return errors.New("crashfuzz: schedule has no profile")
 	}
-	if s.Warm < 0 || s.Faults < 0 || s.Epoch < 0 {
+	if s.Warm < 0 || s.Faults < 0 || s.Epoch < 0 || s.Shard < 0 {
 		return errors.New("crashfuzz: negative schedule dimension")
 	}
 	if s.Extra < 1 || s.Extra > MaxExtra {
@@ -266,11 +282,13 @@ func RandomSchedule(rng *rand.Rand, traceSeed int64) Schedule {
 	combos := Combos()
 	warms := []int{64, 256}
 	epochs := []int{0, 4, 16} // legacy eager path plus two coalescing-window sizes
+	shards := []int{0, 4}     // legacy single-plane engine plus a sharded warm fill
 	s := Schedule{
 		Profile:   Profiles[rng.Intn(len(Profiles))],
 		Combo:     combos[rng.Intn(len(combos))],
 		Model:     nvm.CrashModel(rng.Intn(len(nvm.CrashModels()))),
 		Epoch:     epochs[rng.Intn(len(epochs))],
+		Shard:     shards[rng.Intn(len(shards))],
 		Warm:      warms[rng.Intn(len(warms))],
 		Extra:     1 + rng.Intn(MaxExtra),
 		MidCommit: -1,
@@ -318,6 +336,7 @@ type parentKey struct {
 	profile string
 	combo   Combo
 	epoch   int
+	shard   int
 	warm    int
 	tseed   int64
 }
@@ -354,7 +373,7 @@ func NewRunner() *Runner {
 func arenaLen(warm int) int { return warm + MaxExtra + 1 + PostRunRequests }
 
 func (r *Runner) parent(s Schedule) (*parent, error) {
-	key := parentKey{profile: s.Profile, combo: s.Combo, epoch: s.Epoch, warm: s.Warm, tseed: s.TraceSeed}
+	key := parentKey{profile: s.Profile, combo: s.Combo, epoch: s.Epoch, shard: s.Shard, warm: s.Warm, tseed: s.TraceSeed}
 	if p, ok := r.parents[key]; ok {
 		return p, nil
 	}
@@ -370,7 +389,15 @@ func (r *Runner) parent(s Schedule) (*parent, error) {
 	}
 	arena := r.arenas.Get(prof, s.TraceSeed, arenaLen(s.Warm))
 	if s.Warm > 0 {
-		if _, err := sim.Run(ctrl, arena.Source(), s.Warm); err != nil {
+		if s.Shard > 0 {
+			// Sharded warm fill: the content-plane oracle must leave the
+			// controller in byte-identical state, so crash/recovery trials
+			// on top of it audit the sharding engine's neutrality contract.
+			_, err = sim.RunSharded(ctrl, arena.Source(), s.Warm, s.Shard, nil)
+		} else {
+			_, err = sim.Run(ctrl, arena.Source(), s.Warm)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("crashfuzz: warm fill (%s): %w", s.Combo, err)
 		}
 	}

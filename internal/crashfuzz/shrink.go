@@ -3,9 +3,12 @@ package crashfuzz
 // Shrinking: reduce a failing schedule to a minimal repro.
 //
 // The order is deliberate — drop whole crash-model features first
-// (fault injection, the mid-commit hook, the relaxed persistence
-// model, then the epoch coalescing window), because a repro without
-// them implicates a much smaller slice of the system; only then bisect
+// (the sharded warm fill, fault injection, the mid-commit hook, the
+// relaxed persistence model, then the epoch coalescing window), because
+// a repro without them implicates a much smaller slice of the system;
+// the shard worker count goes first of all because a repro surviving on
+// the legacy engine clears the entire content-plane oracle from the
+// suspect set. Only then bisect
 // the crash point (Extra) and the warm fill (Warm), which shortens the
 // trace a human must replay.
 
@@ -33,6 +36,13 @@ func (r *Runner) Shrink(s Schedule) (Schedule, *Violation) {
 
 	// 1. Feature dropping: each feature is removed independently and
 	// kept out only if the failure survives.
+	if s.Shard != 0 {
+		cand := s
+		cand.Shard = 0
+		if v := try(cand); v != nil {
+			s, best = cand, v
+		}
+	}
 	if s.Faults != 0 {
 		cand := s
 		cand.Faults = 0

@@ -40,6 +40,14 @@ type RunConfig struct {
 	// eager path, byte-identical to pre-epoch builds; the zero value
 	// deliberately stays legacy so existing sweeps reproduce exactly.
 	Epoch int
+	// Shard is the intra-trial parallel engine's worker count: each
+	// simulation cell precomputes its content plane (crypto, counters,
+	// codecs) across this many shard workers while the timing spine
+	// replays sequentially (sim.RunSharded). 0 selects the legacy
+	// single-plane engine; any value >= 1 routes through the sharded
+	// engine, whose simulated metrics are byte-identical at every
+	// count — the shard-sweep bench gate enforces it.
+	Shard int
 	// Parallel is the evaluation engine's worker count: how many
 	// (scheme, app, size) simulation cells run concurrently. 0 means
 	// runtime.GOMAXPROCS(0); 1 reproduces the legacy sequential path.
@@ -154,7 +162,12 @@ func (rc RunConfig) run(f sim.Family, s memctrl.Scheme, p trace.Profile) (sim.Re
 	if rc.Trace != nil {
 		probe = rc.Trace.Scope(fmt.Sprintf("%s/%s/%s", f, s, p.Name))
 	}
-	res, err := sim.RunObserved(ctrl, rc.source(p), rc.Requests, probe)
+	var res sim.Result
+	if rc.Shard > 0 {
+		res, err = sim.RunSharded(ctrl, rc.source(p), rc.Requests, rc.Shard, probe)
+	} else {
+		res, err = sim.RunObserved(ctrl, rc.source(p), rc.Requests, probe)
+	}
 	if err == nil && rc.OnCell != nil {
 		rc.OnCell(res)
 	}

@@ -12,6 +12,7 @@ import (
 	"anubis/internal/nvm"
 	"anubis/internal/obs"
 	"anubis/internal/shadow"
+	"anubis/internal/shard"
 )
 
 // regBonsaiRoot is the on-chip persistent register holding the general
@@ -68,6 +69,14 @@ type Bonsai struct {
 
 	// pending accumulates the current operation's atomic write group.
 	pending []nvm.PendingWrite
+
+	// oe is the shard-oracle entry for the in-flight request, attached
+	// by sim.RunSharded via SetContentEntry. Nil outside sharded runs:
+	// every consumption site is one predictable nil-check branch (same
+	// discipline as probe). When set, precomputed content substitutes
+	// for the crypto/codec recomputation — device traffic, timing and
+	// statistics are byte-identical either way (see internal/shard).
+	oe *shard.Entry
 
 	// Epoch pipeline state (cfg.EpochRequests > 1 only; see
 	// bonsai_epoch.go): writes since the last close, the set of counter
@@ -399,6 +408,13 @@ func (b *Bonsai) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 	if !has {
 		return zero, nil // never written: logical zeros
 	}
+	if e := b.oe; e != nil && e.Has {
+		// Shard oracle: the owning worker already derived the plaintext
+		// from the write history, so decrypt + ECC + MAC recomputation
+		// is skipped — their latency is charged above exactly as on the
+		// legacy path, which verifies the same bytes.
+		return e.PT, nil
+	}
 	s := counter.UnpackSplit(line.Data)
 	ctr := s.Counter(lane)
 	var pt [BlockBytes]byte
@@ -438,17 +454,29 @@ func (b *Bonsai) writeBlockLegacy(idx uint64, data [BlockBytes]byte) error {
 	}
 	b.pending = b.pending[:0]
 
-	s := counter.UnpackSplit(line.Data)
-	old := s
-	if s.Increment(lane) {
-		// Minor overflow: the page is re-encrypted under the new major
-		// counter and the counter block force-persisted, so Osiris-style
-		// recovery never needs to guess across an overflow.
-		if err := b.reencryptPage(page, &old, &s); err != nil {
-			return err
+	var leafHash, ctr uint64
+	if e := b.oe; e != nil {
+		if e.Overflow {
+			if err := b.reencryptPage(page, nil, nil); err != nil {
+				return err
+			}
 		}
+		line.Data = e.CtrBlock
+		leafHash, ctr = e.LeafHash, e.Ctr
+	} else {
+		s := counter.UnpackSplit(line.Data)
+		old := s
+		if s.Increment(lane) {
+			// Minor overflow: the page is re-encrypted under the new major
+			// counter and the counter block force-persisted, so Osiris-style
+			// recovery never needs to guess across an overflow.
+			if err := b.reencryptPage(page, &old, &s); err != nil {
+				return err
+			}
+		}
+		line.Data = s.Pack()
+		leafHash, ctr = b.eng.ContentHash(line.Data[:]), s.Counter(lane)
 	}
-	line.Data = s.Pack()
 	if b.cfg.Scheme == SchemeStrict {
 		// Strict persistence: the counter write goes out immediately;
 		// the cached copy stays clean.
@@ -491,14 +519,17 @@ func (b *Bonsai) writeBlockLegacy(idx uint64, data [BlockBytes]byte) error {
 
 	// Encrypt the data under the fresh counter; ECC covers the plaintext
 	// (the Osiris sanity check), the MAC binds data to counter+address.
-	ctr := s.Counter(lane)
-	var ctBlk [BlockBytes]byte
-	b.eng.EncryptTo(ctBlk[:], data[:], idx, ctr)
-	side := nvm.Sideband{ECC: ecc.EncodeBlock(data[:]), MAC: b.eng.DataMAC(idx, ctr, data[:]), Phase: uint8(ctr)}
-	b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: b.wl.phys(idx), Block: ctBlk, HasSide: true, Side: side})
+	if e := b.oe; e != nil {
+		b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: b.wl.phys(idx), Block: e.CT, HasSide: true, Side: e.Side})
+	} else {
+		var ctBlk [BlockBytes]byte
+		b.eng.EncryptTo(ctBlk[:], data[:], idx, ctr)
+		side := nvm.Sideband{ECC: ecc.EncodeBlock(data[:]), MAC: b.eng.DataMAC(idx, ctr, data[:]), Phase: uint8(ctr)}
+		b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: b.wl.phys(idx), Block: ctBlk, HasSide: true, Side: side})
+	}
 
 	// Eager tree update: propagate the leaf change to the on-chip root.
-	if err := b.updateTreePath(page, line.Data); err != nil {
+	if err := b.updateTreePath(page, leafHash); err != nil {
 		return err
 	}
 
@@ -518,8 +549,13 @@ func (b *Bonsai) writeBlockLegacy(idx uint64, data [BlockBytes]byte) error {
 // updateTreePath applies the eager update policy: every ancestor of the
 // counter block is updated in cache (strict persistence additionally
 // stages each updated node for write-out and keeps the lines clean).
-func (b *Bonsai) updateTreePath(page uint64, counterBlock [BlockBytes]byte) error {
-	childHash := b.eng.ContentHash(counterBlock[:])
+// leafHash is the content hash of the updated counter block — computed
+// by the caller, so the shard oracle can supply it precomputed.
+// Interior-node hashes are recomputed here regardless: a node
+// aggregates sibling pages, so its content is not page-local and never
+// comes from the oracle.
+func (b *Bonsai) updateTreePath(page uint64, leafHash uint64) error {
+	childHash := leafHash
 	childIdx := page
 	for level := 0; level < b.geom.Levels(); level++ {
 		nodeIdx := childIdx / merkle.Arity
@@ -553,11 +589,21 @@ func (b *Bonsai) updateTreePath(page uint64, counterBlock [BlockBytes]byte) erro
 
 // reencryptPage handles a split-counter page overflow: all lines of the
 // page are decrypted under the old counters and re-encrypted under the
-// new major counter, and the counter block is force-persisted.
+// new major counter, and the counter block is force-persisted. Under
+// the shard oracle (old/fresh nil) the re-encrypted lanes come
+// precomputed; the timed per-lane device reads — the part that shapes
+// simulated time — are identical either way.
 func (b *Bonsai) reencryptPage(page uint64, old, fresh *counter.Split) error {
 	b.stats.PageOverflows++
 	ovStart := b.now
 	base := page * counter.SplitMinors
+	e := b.oe
+	if e != nil && (old != nil || !e.Overflow) {
+		// Legacy callers always pass counters; nil counters are the
+		// oracle path and require a matching overflow entry.
+		panic("memctrl: page re-encryption without matching shard-oracle entry")
+	}
+	j := 0
 	for lane := 0; lane < counter.SplitMinors; lane++ {
 		idx := base + uint64(lane)
 		phys := b.wl.phys(idx)
@@ -566,6 +612,14 @@ func (b *Bonsai) reencryptPage(page uint64, old, fresh *counter.Split) error {
 		}
 		ct, _, done := b.dev.ReadAtPtr(nvm.RegionData, phys, b.now)
 		b.now = done
+		if e != nil {
+			if j >= len(e.Reenc) || e.Reenc[j].Lane != lane {
+				panic("memctrl: shard-oracle desync during page re-encryption")
+			}
+			b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: phys, Block: e.Reenc[j].CT, HasSide: true, Side: e.Reenc[j].Side})
+			j++
+			continue
+		}
 		var pt [BlockBytes]byte
 		b.eng.DecryptTo(pt[:], ct[:], idx, old.Counter(lane))
 		side := b.dev.ReadSideband(phys)
@@ -578,10 +632,19 @@ func (b *Bonsai) reencryptPage(page uint64, old, fresh *counter.Split) error {
 		nside := nvm.Sideband{ECC: side.ECC, MAC: b.eng.DataMAC(idx, nctr, pt[:]), Phase: uint8(nctr)}
 		b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: phys, Block: blk, HasSide: true, Side: nside})
 	}
+	if e != nil && j != len(e.Reenc) {
+		panic("memctrl: shard-oracle desync during page re-encryption")
+	}
 	// Force-persist the fresh counter block (drift resets to zero).
 	b.updateCount.Set(page, 0)
 	b.stats.StopLossWrites++
-	b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionCounter, Index: page, Block: fresh.Pack()})
+	var packed [BlockBytes]byte
+	if e != nil {
+		packed = e.CtrBlock
+	} else {
+		packed = fresh.Pack()
+	}
+	b.pending = append(b.pending, nvm.PendingWrite{Region: nvm.RegionCounter, Index: page, Block: packed})
 	if b.probe != nil {
 		b.probe.Event(obs.EvOverflow, ovStart, b.now, page)
 	}

@@ -1,0 +1,39 @@
+package memctrl
+
+// Shard-oracle attachment points for the intra-trial parallel engine.
+//
+// sim.RunSharded discovers these by type assertion — the same pattern
+// as SetProbe and FlushEpoch — so the Controller interface stays
+// family-agnostic and third-party controllers simply run unsharded.
+//
+// Contract: SetContentEntry attaches the precomputed content of the
+// *next* ReadBlock/WriteBlock call; the caller clears it afterwards.
+// An attached entry must have been computed for exactly that request
+// (address, operation, and position in the request stream) by
+// shard.Precompute over the same stream the controller has replayed so
+// far — the controllers substitute its values without re-deriving
+// them, and desyncs panic rather than corrupt the simulation. Entries
+// skip the read-path integrity verification (the oracle already knows
+// the plaintext), so sharded runs are for honest simulation only;
+// tamper/attack flows use the normal un-sharded API.
+
+import "anubis/internal/shard"
+
+// SetContentEntry attaches the shard-oracle entry consumed by the next
+// read or write. Nil detaches.
+func (b *Bonsai) SetContentEntry(e *shard.Entry) { b.oe = e }
+
+// ContentShardable reports whether this configuration admits the
+// shard-oracle fast path. Start-Gap wear leveling rotates physical
+// data addresses on a *global* write count, which breaks the
+// page-local purity the precompute workers rely on, so wear-leveled
+// configs run unsharded.
+func (b *Bonsai) ContentShardable() bool { return b.cfg.WearPeriod == 0 }
+
+// SetContentEntry attaches the shard-oracle entry consumed by the next
+// read or write. Nil detaches.
+func (c *SGX) SetContentEntry(e *shard.Entry) { c.oe = e }
+
+// ContentShardable reports whether this configuration admits the
+// shard-oracle fast path (see Bonsai.ContentShardable).
+func (c *SGX) ContentShardable() bool { return c.cfg.WearPeriod == 0 }

@@ -12,6 +12,7 @@ import (
 	"anubis/internal/nvm"
 	"anubis/internal/obs"
 	"anubis/internal/shadow"
+	"anubis/internal/shard"
 )
 
 const (
@@ -73,6 +74,11 @@ type SGX struct {
 	probe obs.Probe
 
 	pending []nvm.PendingWrite
+
+	// oe is the shard-oracle entry for the in-flight request (see
+	// Bonsai.oe and internal/shard). Nil outside sharded runs.
+	oe *shard.Entry
+
 	// wbq is the volatile writeback buffer: dirty victims wait here
 	// until the end of the operation, when drainWBQ rebinds their MACs
 	// and stages them. A demand fetch for a queued block pulls it back
@@ -521,6 +527,12 @@ func (c *SGX) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 	if !has {
 		return zero, nil
 	}
+	if e := c.oe; e != nil && e.Has {
+		// Shard oracle: plaintext derived from the write history by the
+		// owning worker; decrypt + ECC + MAC recomputation skipped with
+		// latency charged above exactly as on the legacy path.
+		return e.PT, nil
+	}
 	ctr := g.Ctr[lane]
 	var pt [BlockBytes]byte
 	c.eng.DecryptTo(pt[:], ct[:], idx, ctr)
@@ -593,11 +605,19 @@ func (c *SGX) WriteBlock(idx uint64, data [BlockBytes]byte) error {
 		c.mCache.MarkDirty(c.keyOf(r))
 	}
 
-	ctr := g.Ctr[lane]
-	var ctBlk [BlockBytes]byte
-	c.eng.EncryptTo(ctBlk[:], data[:], idx, ctr)
-	side := nvm.Sideband{ECC: ecc.EncodeBlock(data[:]), MAC: c.eng.DataMAC(idx, ctr, data[:])}
-	c.pending = append(c.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: c.wl.phys(idx), Block: ctBlk, HasSide: true, Side: side})
+	if e := c.oe; e != nil {
+		// Shard oracle: ciphertext + sideband were precomputed under the
+		// same lane counter (counters evolve purely in trace order; only
+		// the leaf's embedded MAC, rebound at writeback, is cache-state
+		// dependent and is still handled above/by drainWBQ).
+		c.pending = append(c.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: c.wl.phys(idx), Block: e.CT, HasSide: true, Side: e.Side})
+	} else {
+		ctr := g.Ctr[lane]
+		var ctBlk [BlockBytes]byte
+		c.eng.EncryptTo(ctBlk[:], data[:], idx, ctr)
+		side := nvm.Sideband{ECC: ecc.EncodeBlock(data[:]), MAC: c.eng.DataMAC(idx, ctr, data[:])}
+		c.pending = append(c.pending, nvm.PendingWrite{Region: nvm.RegionData, Index: c.wl.phys(idx), Block: ctBlk, HasSide: true, Side: side})
+	}
 
 	c.now += c.cfg.HashNS
 	c.dev.Attr().Add(obs.CompCrypto, c.cfg.HashNS)

@@ -1,0 +1,362 @@
+// Package shard implements the intra-trial parallel execution engine:
+// it runs the *content plane* of a single simulation across many host
+// cores while the *timing plane* stays sequential and byte-identical
+// to the legacy engine.
+//
+// Why this split: the simulator's virtual clock, WPQ, write ports and
+// metadata caches are globally coupled — every request observes state
+// left by the previous one, so a semantic bank decomposition of the
+// timing engine cannot be byte-identical at shard counts > 1. But all
+// of the *content* work per request is a pure function of the trace
+// prefix restricted to the metadata page that owns the request's
+// address: plaintext generation, counter evolution (split-counter
+// minors/major per page, SGX lanes per leaf), AES-counter encryption,
+// ECC encoding, data MACs, counter-block packing and the leaf content
+// hash. None of it depends on cache occupancy, clock values or the
+// interleaving with other pages.
+//
+// So the engine shards *pages* — with the same multiply-mix the NVM
+// device uses for bank interleaving (nvm.ShardOf), honoring the bank
+// mapping the epoch scheduler already reasons about — across N worker
+// goroutines. Each worker scans the whole request stream, simulates
+// the counter state of only the pages it owns, and fills a per-request
+// oracle Entry into a slot indexed by request number. Slots have a
+// unique writer (the owning worker), so the table is data-race free,
+// and every entry's value is independent of the shard count: shard
+// assignment decides only *who* computes an entry, never *what* it
+// contains. The sequential timing spine (sim.RunSharded) replays the
+// unmodified controller loop, substituting oracle values for the
+// recomputation — identical device traffic, identical virtual time,
+// identical statistics at every shard count, including shard=1.
+//
+// Workers and spine synchronize on fixed-size request windows (an
+// epoch-like barrier): workers publish completed windows through a
+// per-window WaitGroup, the spine blocks only if it catches up with
+// the slowest worker, so precompute overlaps replay.
+package shard
+
+import (
+	"sync"
+
+	"anubis/internal/counter"
+	"anubis/internal/cryptoeng"
+	"anubis/internal/ecc"
+	"anubis/internal/nvm"
+	"anubis/internal/obs"
+	"anubis/internal/trace"
+)
+
+// BlockBytes is the simulated block size.
+const BlockBytes = counter.BlockBytes
+
+// DefaultWindow is the barrier window size in requests when Config
+// leaves it zero.
+const DefaultWindow = 4096
+
+// Config parameterizes a precompute run. The worker must mirror the
+// controller's address mapping exactly: SGX selects 8-lane leaf pages
+// (SGX-style counters), otherwise 64-lane split-counter pages.
+type Config struct {
+	SGX       bool   // controller family: SGX-style leaves vs split counters
+	NumBlocks uint64 // controller capacity; addresses are trace block % NumBlocks
+	Shards    int    // worker count; <= 1 means one worker
+	Window    int    // barrier window in requests (0 = DefaultWindow)
+}
+
+// Entry is the precomputed content of one request. Writes carry the
+// plaintext, ciphertext, sideband and (Bonsai) the packed counter
+// block with its leaf hash; reads carry the expected plaintext and
+// whether the block was ever written. All values equal what the legacy
+// controller path would compute in place.
+type Entry struct {
+	Ctr      uint64 // encryption counter (post-increment for writes)
+	LeafHash uint64 // Bonsai: ContentHash of CtrBlock
+	Has      bool   // reads: block previously written
+	Overflow bool   // Bonsai writes: minor counter overflow at this request
+
+	Data     [BlockBytes]byte // writes: plaintext (FillBlock)
+	CT       [BlockBytes]byte // writes: ciphertext under Ctr
+	PT       [BlockBytes]byte // reads: expected plaintext
+	CtrBlock [BlockBytes]byte // Bonsai writes: packed counter block after increment
+
+	Side nvm.Sideband // writes: ECC + MAC (+ Phase for Bonsai)
+
+	// Reenc holds the re-encrypted lanes of a page overflow, in lane
+	// order, one entry per lane present on the device at overflow time.
+	Reenc []ReencLane
+}
+
+// ReencLane is one re-encrypted lane of a page overflow.
+type ReencLane struct {
+	Lane int
+	CT   [BlockBytes]byte
+	Side nvm.Sideband
+}
+
+// Oracle is the shared entry table plus the window barrier. Workers
+// fill Entries; the spine calls Wait(i) before consuming entry i.
+type Oracle struct {
+	Entries []Entry
+
+	shards int
+	window int
+	wgs    []sync.WaitGroup
+	done   sync.WaitGroup // worker exits: registries are final
+	regs   []*obs.Registry
+}
+
+// Precompute spawns the shard workers over the request stream and
+// returns immediately; entries become consumable window by window.
+func Precompute(reqs []trace.Request, cfg Config) *Oracle {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	o := &Oracle{
+		Entries: make([]Entry, len(reqs)),
+		shards:  cfg.Shards,
+		window:  cfg.Window,
+		wgs:     make([]sync.WaitGroup, (len(reqs)+cfg.Window-1)/cfg.Window),
+		regs:    make([]*obs.Registry, cfg.Shards),
+	}
+	for c := range o.wgs {
+		o.wgs[c].Add(cfg.Shards)
+	}
+	o.done.Add(cfg.Shards)
+	for w := 0; w < cfg.Shards; w++ {
+		o.regs[w] = obs.NewRegistry()
+		go o.worker(reqs, cfg, w)
+	}
+	return o
+}
+
+// Wait blocks until entry i is published (its window's barrier has
+// been passed by every worker). Waiting on an already-complete window
+// is a single atomic load.
+func (o *Oracle) Wait(i int) { o.wgs[i/o.window].Wait() }
+
+// MergeRegistries folds the worker-private registries into dst in
+// fixed shard order. It waits for every worker to exit first — the
+// window barriers only order entry publication, and a worker writes
+// its registry totals after its last window — so the merge is
+// deterministic and race-free without any caller discipline.
+func (o *Oracle) MergeRegistries(dst *obs.Registry) {
+	o.done.Wait()
+	for _, r := range o.regs {
+		dst.Merge(r)
+	}
+}
+
+// Owner maps a data block address to its owning shard: the address's
+// metadata page (split-counter page or SGX leaf) hashed with the
+// device's bank-interleave mix. The timing spine uses this to charge
+// per-request attribution to the same shard that precomputed the
+// request.
+func Owner(addr uint64, sgx bool, shards int) int {
+	if sgx {
+		return nvm.ShardOf(addr/counter.SGXCounters, shards)
+	}
+	return nvm.ShardOf(addr/counter.SplitMinors, shards)
+}
+
+// FillBlock writes deterministic per-request content: the canonical
+// definition of the simulator's write payloads. sim.FillBlock and the
+// crash fuzzer's golden oracle delegate here, and shard workers use it
+// both to generate write plaintexts and to regenerate read plaintexts
+// without touching the device.
+func FillBlock(d *[BlockBytes]byte, block, n uint64) {
+	x := block*0x9e3779b97f4a7c15 ^ n
+	for i := range d {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		d[i] = byte(x)
+	}
+}
+
+// worker is one shard's precompute loop: a full scan of the request
+// stream that simulates counter state for owned pages only and fills
+// their entries. Engines are per-worker (cryptoeng scratch is pooled
+// per engine); NewTestEngine is deterministic and matches the engine
+// every controller constructs.
+func (o *Oracle) worker(reqs []trace.Request, cfg Config, w int) {
+	defer o.done.Done()
+	eng := cryptoeng.NewTestEngine()
+	reg := o.regs[w]
+	var writes, reads, overflows uint64
+	var state workerState
+	if cfg.SGX {
+		state = &sgxState{leaves: make(map[uint64]*sgxLeaf)}
+	} else {
+		state = &bonsaiState{pages: make(map[uint64]*bonsaiPage)}
+	}
+	for c := range o.wgs {
+		lo, hi := c*o.window, (c+1)*o.window
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		for i := lo; i < hi; i++ {
+			req := &reqs[i]
+			addr := req.Block % cfg.NumBlocks
+			if Owner(addr, cfg.SGX, cfg.Shards) != w {
+				continue
+			}
+			e := &o.Entries[i]
+			if req.Op == trace.OpWrite {
+				writes++
+				if state.write(eng, e, addr, req.Block, uint64(i)) {
+					overflows++
+				}
+			} else {
+				reads++
+				state.read(eng, e, addr)
+			}
+		}
+		o.wgs[c].Done()
+	}
+	reg.Counter("shard_write_entries", writes)
+	reg.Counter("shard_read_entries", reads)
+	reg.Counter("shard_page_overflows", overflows)
+}
+
+// workerState is the per-worker page-content simulation for one
+// controller family.
+type workerState interface {
+	write(eng *cryptoeng.Engine, e *Entry, addr, block, seq uint64) (overflow bool)
+	read(eng *cryptoeng.Engine, e *Entry, addr uint64)
+}
+
+// --- Bonsai family: split counters, 64-lane pages -------------------------
+
+// bonsaiPage tracks one owned split-counter page: the evolving counter
+// block plus, per lane, the identity of the last write so plaintexts
+// can be regenerated with FillBlock instead of decrypting the device.
+type bonsaiPage struct {
+	split   counter.Split
+	present [counter.SplitMinors]bool
+	block   [counter.SplitMinors]uint64 // trace block of the lane's last write
+	seq     [counter.SplitMinors]uint64 // request index of the lane's last write
+}
+
+type bonsaiState struct {
+	pages map[uint64]*bonsaiPage
+}
+
+func (st *bonsaiState) page(p uint64) *bonsaiPage {
+	ps := st.pages[p]
+	if ps == nil {
+		ps = &bonsaiPage{}
+		st.pages[p] = ps
+	}
+	return ps
+}
+
+func (st *bonsaiState) write(eng *cryptoeng.Engine, e *Entry, addr, block, seq uint64) bool {
+	page, lane := addr/counter.SplitMinors, int(addr%counter.SplitMinors)
+	ps := st.page(page)
+	FillBlock(&e.Data, block, seq)
+	if ps.split.Increment(lane) {
+		e.Overflow = true
+		e.Reenc = reencLanes(eng, ps, page)
+	}
+	e.CtrBlock = ps.split.Pack()
+	e.LeafHash = eng.ContentHash(e.CtrBlock[:])
+	ctr := ps.split.Counter(lane)
+	e.Ctr = ctr
+	eng.EncryptTo(e.CT[:], e.Data[:], addr, ctr)
+	e.Side = nvm.Sideband{ECC: ecc.EncodeBlock(e.Data[:]), MAC: eng.DataMAC(addr, ctr, e.Data[:]), Phase: uint8(ctr)}
+	ps.present[lane] = true
+	ps.block[lane] = block
+	ps.seq[lane] = seq
+	return e.Overflow
+}
+
+func (st *bonsaiState) read(eng *cryptoeng.Engine, e *Entry, addr uint64) {
+	page, lane := addr/counter.SplitMinors, int(addr%counter.SplitMinors)
+	ps := st.pages[page]
+	if ps == nil || !ps.present[lane] {
+		return // never written: entry stays Has=false / zero plaintext
+	}
+	e.Has = true
+	FillBlock(&e.PT, ps.block[lane], ps.seq[lane])
+	e.Ctr = ps.split.Counter(lane)
+}
+
+// reencLanes precomputes the overflow re-encryption of a page: every
+// lane written so far, re-encrypted under the post-overflow counters.
+// Called after Increment bumped the major, so ps.split holds the fresh
+// counters; lane presence here mirrors the device presence the
+// controller's re-encryption loop checks (data lanes become present
+// only through prior writes, and the current write has not landed yet).
+func reencLanes(eng *cryptoeng.Engine, ps *bonsaiPage, page uint64) []ReencLane {
+	var out []ReencLane
+	base := page * counter.SplitMinors
+	for lane := 0; lane < counter.SplitMinors; lane++ {
+		if !ps.present[lane] {
+			continue
+		}
+		idx := base + uint64(lane)
+		var pt [BlockBytes]byte
+		FillBlock(&pt, ps.block[lane], ps.seq[lane])
+		nctr := ps.split.Counter(lane)
+		rl := ReencLane{Lane: lane}
+		eng.EncryptTo(rl.CT[:], pt[:], idx, nctr)
+		rl.Side = nvm.Sideband{ECC: ecc.EncodeBlock(pt[:]), MAC: eng.DataMAC(idx, nctr, pt[:]), Phase: uint8(nctr)}
+		out = append(out, rl)
+	}
+	return out
+}
+
+// --- SGX family: 8-lane leaves ---------------------------------------------
+
+// sgxLeaf tracks one owned SGX counter leaf. Only the counter lanes
+// are modeled: the embedded MAC field of the cached leaf block is
+// writeback-order dependent and stays with the timing spine, but lane
+// counters evolve purely (one increment per write, in trace order).
+type sgxLeaf struct {
+	ctr     [counter.SGXCounters]uint64
+	present [counter.SGXCounters]bool
+	block   [counter.SGXCounters]uint64
+	seq     [counter.SGXCounters]uint64
+}
+
+type sgxState struct {
+	leaves map[uint64]*sgxLeaf
+}
+
+func (st *sgxState) leaf(l uint64) *sgxLeaf {
+	ls := st.leaves[l]
+	if ls == nil {
+		ls = &sgxLeaf{}
+		st.leaves[l] = ls
+	}
+	return ls
+}
+
+func (st *sgxState) write(eng *cryptoeng.Engine, e *Entry, addr, block, seq uint64) bool {
+	leaf, lane := addr/counter.SGXCounters, int(addr%counter.SGXCounters)
+	ls := st.leaf(leaf)
+	FillBlock(&e.Data, block, seq)
+	ls.ctr[lane] = (ls.ctr[lane] + 1) & counter.SGXCounterMask
+	ctr := ls.ctr[lane]
+	e.Ctr = ctr
+	eng.EncryptTo(e.CT[:], e.Data[:], addr, ctr)
+	e.Side = nvm.Sideband{ECC: ecc.EncodeBlock(e.Data[:]), MAC: eng.DataMAC(addr, ctr, e.Data[:])}
+	ls.present[lane] = true
+	ls.block[lane] = block
+	ls.seq[lane] = seq
+	return false
+}
+
+func (st *sgxState) read(eng *cryptoeng.Engine, e *Entry, addr uint64) {
+	leaf, lane := addr/counter.SGXCounters, int(addr%counter.SGXCounters)
+	ls := st.leaves[leaf]
+	if ls == nil || !ls.present[lane] {
+		return
+	}
+	e.Has = true
+	FillBlock(&e.PT, ls.block[lane], ls.seq[lane])
+	e.Ctr = ls.ctr[lane]
+}

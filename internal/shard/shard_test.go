@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"anubis/internal/trace"
+)
+
+// entriesFor precomputes the oracle for a request stream and waits for
+// every window.
+func entriesFor(t *testing.T, reqs []trace.Request, cfg Config) []Entry {
+	t.Helper()
+	o := Precompute(reqs, cfg)
+	if len(reqs) > 0 {
+		o.Wait(len(reqs) - 1)
+	}
+	return o.Entries
+}
+
+// TestEntriesIndependentOfShardCount is the package's core invariant:
+// shard assignment decides who computes an entry, never what it
+// contains, so the full entry table is identical at every worker count
+// (and at every window size).
+func TestEntriesIndependentOfShardCount(t *testing.T) {
+	prof, _ := trace.ByName("libquantum")
+	gen := trace.NewGenerator(prof, 99)
+	reqs := make([]trace.Request, 5000)
+	for i := range reqs {
+		reqs[i] = gen.Next()
+	}
+	for _, sgx := range []bool{false, true} {
+		base := Config{SGX: sgx, NumBlocks: 1 << 20, Shards: 1}
+		want := entriesFor(t, reqs, base)
+		for _, cfg := range []Config{
+			{SGX: sgx, NumBlocks: 1 << 20, Shards: 2},
+			{SGX: sgx, NumBlocks: 1 << 20, Shards: 8, Window: 128},
+			{SGX: sgx, NumBlocks: 1 << 20, Shards: 16, Window: 1},
+		} {
+			got := entriesFor(t, reqs, cfg)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("sgx=%v shards=%d window=%d: entry table differs from single-worker table",
+					sgx, cfg.Shards, cfg.Window)
+			}
+		}
+	}
+}
+
+// TestOwnerPartition: every request index is owned by exactly the
+// worker Owner() names, i.e. workers never write outside their slots.
+// Precompute already guarantees this structurally (only the owner
+// touches a slot); here we pin the mapping's range and stability.
+func TestOwnerPartition(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for addr := uint64(0); addr < 4096; addr++ {
+			for _, sgx := range []bool{false, true} {
+				w := Owner(addr, sgx, shards)
+				if w < 0 || w >= shards {
+					t.Fatalf("Owner(%d, %v, %d) = %d out of range", addr, sgx, shards, w)
+				}
+				if w != Owner(addr, sgx, shards) {
+					t.Fatal("Owner not stable")
+				}
+			}
+		}
+	}
+	// All addresses of one metadata page map to one shard.
+	for addr := uint64(0); addr < 4096; addr += 64 {
+		w := Owner(addr, false, 8)
+		for l := uint64(1); l < 64; l++ {
+			if Owner(addr+l, false, 8) != w {
+				t.Fatalf("page split across shards at addr %d lane %d", addr, l)
+			}
+		}
+	}
+}
+
+// TestOverflowEntries: a lane written 129 times overflows its 7-bit
+// minor counter; the entry must carry the overflow flag and the
+// re-encrypted lanes for exactly the lanes written so far.
+func TestOverflowEntries(t *testing.T) {
+	var reqs []trace.Request
+	// Two lanes of page 0, then hammer lane 0 until overflow.
+	reqs = append(reqs, trace.Request{Op: trace.OpWrite, Block: 1})
+	for i := 0; i < 128; i++ {
+		reqs = append(reqs, trace.Request{Op: trace.OpWrite, Block: 0})
+	}
+	es := entriesFor(t, reqs, Config{NumBlocks: 1 << 12, Shards: 2})
+	last := es[len(es)-1]
+	if !last.Overflow {
+		t.Fatal("128th write to one lane did not overflow")
+	}
+	if len(last.Reenc) != 2 {
+		t.Fatalf("expected 2 re-encrypted lanes, got %d", len(last.Reenc))
+	}
+	if last.Reenc[0].Lane != 0 || last.Reenc[1].Lane != 1 {
+		t.Fatalf("re-encrypted lanes out of order: %d, %d", last.Reenc[0].Lane, last.Reenc[1].Lane)
+	}
+	for _, e := range es[:len(es)-1] {
+		if e.Overflow {
+			t.Fatal("premature overflow entry")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package sim
+
+// Intra-trial bank-sharded execution: one simulation spread across many
+// host cores with a deterministic merge.
+//
+// RunSharded splits a single run into two planes. The *content plane*
+// — plaintext generation, counter evolution, encryption, ECC, MACs,
+// counter-block packing, leaf hashing — is pure per metadata page and
+// fans out across N shard workers (internal/shard), pages assigned by
+// the NVM device's bank-interleave hash. The *timing plane* — virtual
+// clock, WPQ, write ports, caches, tree walks — is globally coupled
+// and stays on one goroutine, replaying the unmodified controller loop
+// while substituting the precomputed content. Workers and spine
+// synchronize on fixed request windows (the epoch-style barrier), so
+// precompute for window c+1 overlaps replay of window c.
+//
+// Determinism: every oracle entry is a pure function of the trace, so
+// its value is independent of the shard count and of goroutine
+// interleaving; the spine is sequential; per-shard ledgers, latency
+// histograms and worker registries merge in fixed shard order. The
+// simulated Result is therefore byte-identical at every shard count —
+// including shard=1 versus the legacy engine — which the shard-sweep
+// bench gate and TestRunShardedByteIdentical enforce.
+
+import (
+	"fmt"
+
+	"anubis/internal/memctrl"
+	"anubis/internal/obs"
+	"anubis/internal/shard"
+	"anubis/internal/trace"
+)
+
+// contentSharder is implemented by controllers that can consume
+// shard-oracle entries; matched by assertion like probeSetter, so the
+// Controller interface stays family-agnostic.
+type contentSharder interface {
+	SetContentEntry(*shard.Entry)
+	ContentShardable() bool
+}
+
+// ShardDetail is the per-shard decomposition of a sharded run, merged
+// deterministically into the Result. Index s holds what the spine
+// charged to shard s: the attribution of every request whose metadata
+// page the shard owns (CPU gap included; the final epoch flush goes to
+// shard 0). The decomposition is exact: folding Ledgers in shard order
+// reproduces the run's attribution ledger entry for entry, and folding
+// the histograms reproduces the bulk Result histograms — the sum-exact
+// property TestShardLedgerSumExact asserts across shard counts.
+type ShardDetail struct {
+	Ledgers  []obs.Ledger
+	ReadLat  []LatencyHist
+	WriteLat []LatencyHist
+
+	// Registry aggregates the worker-private registries (entry and
+	// overflow counts per worker) in fixed shard order. Nil when the
+	// run fell back to the unsharded engine.
+	Registry *obs.Registry
+}
+
+// RunSharded is Run with the intra-trial parallel engine: shards > 1
+// spreads the content plane over that many workers. Controllers that
+// do not support the shard oracle (third-party, or wear-leveled
+// configs whose physical addresses depend on a global write count)
+// transparently fall back to the unsharded engine — same Result either
+// way.
+func RunSharded(ctrl memctrl.Controller, gen trace.Source, nReq, shards int, probe obs.Probe) (Result, error) {
+	res, _, err := RunShardedDetail(ctrl, gen, nReq, shards, probe)
+	return res, err
+}
+
+// RunShardedDetail is RunSharded plus the per-shard decomposition.
+func RunShardedDetail(ctrl memctrl.Controller, gen trace.Source, nReq, shards int, probe obs.Probe) (Result, ShardDetail, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	sc, ok := ctrl.(contentSharder)
+	if !ok || !sc.ContentShardable() {
+		res, err := RunObserved(ctrl, gen, nReq, probe)
+		return res, ShardDetail{}, err
+	}
+
+	res := Result{Workload: gen.Name(), Scheme: ctrl.Scheme(), Family: FamilyOf(ctrl), Requests: nReq}
+	nBlocks := ctrl.NumBlocks()
+	sgx := res.Family == FamilySGX
+	if probe != nil {
+		if ps, ok := ctrl.(probeSetter); ok {
+			ps.SetProbe(probe)
+			defer ps.SetProbe(nil)
+		}
+	}
+	att := ctrl.Device().Attr()
+
+	// Materialize the request stream: workers each need an independent
+	// scan of it. Draining the source here advances it exactly as the
+	// legacy per-request loop would.
+	reqs := make([]trace.Request, nReq)
+	for i := range reqs {
+		reqs[i] = gen.Next()
+	}
+	orc := shard.Precompute(reqs, shard.Config{SGX: sgx, NumBlocks: nBlocks, Shards: shards})
+	defer sc.SetContentEntry(nil)
+
+	det := ShardDetail{
+		Ledgers:  make([]obs.Ledger, shards),
+		ReadLat:  make([]LatencyHist, shards),
+		WriteLat: make([]LatencyHist, shards),
+		Registry: obs.NewRegistry(),
+	}
+	var snap obs.Ledger
+	var psnap, delta *obs.Ledger
+	if probe != nil {
+		psnap, delta = new(obs.Ledger), new(obs.Ledger)
+	}
+	for i := 0; i < nReq; i++ {
+		req := &reqs[i]
+		orc.Wait(i)
+		e := &orc.Entries[i]
+		addr := req.Block % nBlocks
+		owner := shard.Owner(addr, sgx, shards)
+		snap = *att // before the gap: CPU idle time is charged to the owner too
+		ctrl.AdvanceTo(ctrl.Now() + req.GapNS)
+		issue := ctrl.Now()
+		if probe != nil {
+			*psnap = *att
+		}
+		sc.SetContentEntry(e)
+		if req.Op == trace.OpWrite {
+			if err := ctrl.WriteBlock(addr, e.Data); err != nil {
+				return res, det, fmt.Errorf("sim: request %d (write %d): %w", i, addr, err)
+			}
+			lat := ctrl.Now() - issue
+			res.WriteLat.Add(lat)
+			det.WriteLat[owner].Add(lat)
+			if probe != nil {
+				*delta = att.Since(psnap)
+				probe.Request(obs.EvWriteReq, addr, issue, ctrl.Now(), delta)
+			}
+		} else {
+			if _, err := ctrl.ReadBlock(addr); err != nil {
+				return res, det, fmt.Errorf("sim: request %d (read %d): %w", i, addr, err)
+			}
+			lat := ctrl.Now() - issue
+			res.ReadLat.Add(lat)
+			det.ReadLat[owner].Add(lat)
+			if probe != nil {
+				*delta = att.Since(psnap)
+				probe.Request(obs.EvReadReq, addr, issue, ctrl.Now(), delta)
+			}
+		}
+		sc.SetContentEntry(nil)
+		d := att.Since(&snap)
+		det.Ledgers[owner].Merge(&d)
+	}
+	snap = *att
+	if f, ok := ctrl.(epochFlusher); ok {
+		if err := f.FlushEpoch(); err != nil {
+			return res, det, fmt.Errorf("sim: epoch flush: %w", err)
+		}
+	}
+	// The closing drain belongs to no single request; charge it to
+	// shard 0 by convention so the decomposition stays exact.
+	d := att.Since(&snap)
+	det.Ledgers[0].Merge(&d)
+
+	// All windows have been waited on, so the workers are done and the
+	// fixed-order registry merge is race-free.
+	if nReq > 0 {
+		orc.Wait(nReq - 1)
+	}
+	orc.MergeRegistries(det.Registry)
+
+	res.ExecNS = ctrl.Now()
+	res.Stats = ctrl.Stats()
+	return res, det, nil
+}

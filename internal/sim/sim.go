@@ -15,6 +15,7 @@ import (
 
 	"anubis/internal/memctrl"
 	"anubis/internal/obs"
+	"anubis/internal/shard"
 	"anubis/internal/trace"
 )
 
@@ -163,15 +164,11 @@ type epochFlusher interface{ FlushEpoch() error }
 
 // FillBlock writes deterministic content so every write has distinct
 // data. Exported so the crash-injection fuzzer can regenerate the exact
-// bytes Run wrote when maintaining its golden shadow copy.
+// bytes Run wrote when maintaining its golden shadow copy. The
+// canonical definition lives in internal/shard, whose precompute
+// workers must generate the very same bytes off the hot path.
 func FillBlock(d *[memctrl.BlockBytes]byte, block, n uint64) {
-	x := block*0x9e3779b97f4a7c15 ^ n
-	for i := range d {
-		x ^= x << 13
-		x ^= x >> 7
-		x ^= x << 17
-		d[i] = byte(x)
-	}
+	shard.FillBlock(d, block, n)
 }
 
 // NewController constructs the right controller family for a scheme:
