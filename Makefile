@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-smoke bench-device bench-epoch bench-shard bench-json bench-tools fuzz-tools fuzz-smoke fuzz fmt clean
+.PHONY: all build vet test race verify bench bench-smoke bench-device bench-epoch bench-shard bench-fastpath bench-json bench-tools fuzz-tools fuzz-smoke fuzz fmt clean
 
 all: verify
 
@@ -37,48 +37,61 @@ bench-smoke:
 	$(GO) run ./cmd/anubis-bench -fig10 -fig11 -n 2000 \
 		-apps mcf,lbm,libquantum -parallel 4 -json results/
 
-# Epoch-pipeline smoke: the reduced fig10 sweep at coalescing window 1
-# must be byte-identical to the legacy eager path (window 0 — the
-# epoch<=1 bypass contract), and a real window must complete the same
-# sweep end to end. Wall-clock lines are stripped before comparing;
-# every simulated metric is exact.
+# Determinism smokes share one shape: run the reduced fig10 sweep at
+# two settings of a contractually metric-neutral knob, write both JSON
+# reports, and gate with bench_compare -exact-metrics — every simulated
+# metric and the per-component attribution ledger must be bit-identical
+# (the consolidated replacement for the old cmp'd results/*.txt
+# artifacts; smoke reports are transient, see .gitignore).
+SMOKE_RUN = $(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum -parallel 1 -seed 99
+
+# Epoch-pipeline smoke: coalescing window 1 must match the legacy eager
+# path (window 0 — the epoch<=1 bypass contract), and a real window
+# must complete the same sweep end to end.
 bench-epoch:
 	mkdir -p results
-	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
-		-parallel 1 -seed 99 -epoch 0 | grep -v 'ms wall' > results/epoch0.txt
-	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
-		-parallel 1 -seed 99 -epoch 1 | grep -v 'ms wall' > results/epoch1.txt
-	cmp results/epoch0.txt results/epoch1.txt
-	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
-		-parallel 1 -seed 99 -epoch 16 > /dev/null
+	$(SMOKE_RUN) -epoch 0 -json results/smoke_epoch0.json > /dev/null
+	$(SMOKE_RUN) -epoch 1 -json results/smoke_epoch1.json > /dev/null
+	$(GO) run ./scripts/bench_compare -exact-metrics results/smoke_epoch0.json results/smoke_epoch1.json
+	$(SMOKE_RUN) -epoch 16 > /dev/null
 
-# Intra-trial shard smoke: the reduced fig10 sweep must be
-# byte-identical between the legacy engine (shard 0) and the sharded
-# engine at 1, 4 and 8 workers — the shard oracle's metric-neutrality
-# contract. Wall-clock lines are stripped before comparing; every
-# simulated metric is exact.
+# Intra-trial shard smoke: the sharded engine at 1, 4 and 8 workers
+# must match the legacy engine (shard 0) — the shard oracle's
+# metric-neutrality contract.
 bench-shard:
 	mkdir -p results
-	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
-		-parallel 1 -seed 99 -shard 0 | grep -v 'ms wall' > results/shard0.txt
-	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
-		-parallel 1 -seed 99 -shard 1 | grep -v 'ms wall' > results/shard1.txt
-	cmp results/shard0.txt results/shard1.txt
-	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
-		-parallel 1 -seed 99 -shard 4 | grep -v 'ms wall' > results/shard4.txt
-	cmp results/shard0.txt results/shard4.txt
-	$(GO) run ./cmd/anubis-bench -fig10 -n 2000 -apps mcf,lbm,libquantum \
-		-parallel 1 -seed 99 -shard 8 | grep -v 'ms wall' > results/shard8.txt
-	cmp results/shard0.txt results/shard8.txt
+	$(SMOKE_RUN) -shard 0 -json results/smoke_shard0.json > /dev/null
+	$(SMOKE_RUN) -shard 1 -json results/smoke_shard1.json > /dev/null
+	$(GO) run ./scripts/bench_compare -exact-metrics results/smoke_shard0.json results/smoke_shard1.json
+	$(SMOKE_RUN) -shard 4 -json results/smoke_shard4.json > /dev/null
+	$(GO) run ./scripts/bench_compare -exact-metrics results/smoke_shard0.json results/smoke_shard4.json
+	$(SMOKE_RUN) -shard 8 -json results/smoke_shard8.json > /dev/null
+	$(GO) run ./scripts/bench_compare -exact-metrics results/smoke_shard0.json results/smoke_shard8.json
+
+# Hit-burst fast-path smoke: the lane on must match the stepped engine
+# (lane off) bit for bit — alone, stacked on an epoch window, and
+# stacked on the sharded engine (the three burst-retirement variants:
+# eager tree walk, journal note, sharded spine).
+bench-fastpath:
+	mkdir -p results
+	$(SMOKE_RUN) -json results/smoke_fp0.json > /dev/null
+	$(SMOKE_RUN) -fastpath -json results/smoke_fp1.json > /dev/null
+	$(GO) run ./scripts/bench_compare -exact-metrics results/smoke_fp0.json results/smoke_fp1.json
+	$(SMOKE_RUN) -epoch 16 -json results/smoke_fpe0.json > /dev/null
+	$(SMOKE_RUN) -epoch 16 -fastpath -json results/smoke_fpe1.json > /dev/null
+	$(GO) run ./scripts/bench_compare -exact-metrics results/smoke_fpe0.json results/smoke_fpe1.json
+	$(SMOKE_RUN) -shard 4 -fastpath -json results/smoke_fps1.json > /dev/null
+	$(GO) run ./scripts/bench_compare -exact-metrics results/smoke_fp0.json results/smoke_fps1.json
 
 # PR-tracking benchmark record: the fixed suite matrix (quick + full
 # scale, sequential + parallel, epoch-pipeline sweep, intra-trial
-# shard sweep, forked-vs-cold recovery sweep) written to
-# results/BENCH_7.json. Compare against the previous PR's record:
-#   go run ./scripts/bench_compare -epoch-sweep -shard-sweep results/BENCH_6.json results/BENCH_7.json
+# shard sweep, hit-burst fast-path sweep, forked-vs-cold recovery
+# sweep) written to results/BENCH_8.json. Compare against the previous
+# PR's record:
+#   go run ./scripts/bench_compare -epoch-sweep -shard-sweep -fastpath-sweep results/BENCH_7.json results/BENCH_8.json
 bench-json:
 	mkdir -p results
-	$(GO) run ./cmd/anubis-bench -suite -trials 50 -json results/BENCH_7.json
+	$(GO) run ./cmd/anubis-bench -suite -trials 50 -json results/BENCH_8.json
 
 # Build-only smoke: the suite driver and the comparison tool keep
 # compiling. Deliberately runs no benchmarks (wall-clock is too noisy

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,8 +47,13 @@ type Report struct {
 	// set when the binary was built inside a git checkout (empty for
 	// `go run` and test binaries), so a report can be traced back to
 	// the exact commit that produced it.
-	VCSRevision string         `json:"vcs_revision,omitempty"`
-	VCSModified bool           `json:"vcs_modified,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+	// Host provenance: wall-clock numbers in a report are only
+	// comparable on the machine that produced them, so every record
+	// carries enough host identity to tell two machines apart.
+	HostCores   int            `json:"host_cores"`
+	CPUModel    string         `json:"cpu_model,omitempty"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
 	Parallel    int            `json:"parallel"`
 	Requests    int            `json:"requests"`
@@ -74,6 +80,8 @@ func newReport(parallel, requests int, mem uint64, seed int64, apps []string) *R
 		SchemaVersion: SchemaVersion,
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		GoVersion:     runtime.Version(),
+		HostCores:     runtime.NumCPU(),
+		CPUModel:      cpuModel(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Parallel:      parallel,
 		Requests:      requests,
@@ -92,6 +100,22 @@ func newReport(parallel, requests int, mem uint64, seed int64, apps []string) *R
 		}
 	}
 	return r
+}
+
+// cpuModel returns the host CPU model string from /proc/cpuinfo, or ""
+// on platforms without it (the field is omitempty; wall-clock numbers
+// are then attributable only via host_cores/gomaxprocs).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
 }
 
 // cellWatch aggregates completed simulation cells: the per-component

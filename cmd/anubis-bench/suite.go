@@ -59,6 +59,12 @@ func runSuite(rep *Report, out io.Writer, seed int64, trials int, hooks func(*fi
 		} {
 			rc := scale.rc
 			rc.Parallel = par.workers
+			// The matrix runs with the hit-burst fast path on: it is the
+			// steady-state engine now, and its simulated metrics are
+			// contractually byte-identical to the stepped path — which the
+			// fastpath sweep below (and scripts/bench_compare's
+			// -fastpath-sweep gate) verifies against these very records.
+			rc.Fastpath = true
 			hooks(&rc)
 			name := scale.label + "_" + par.label
 			nApps := rc.NumApps()
@@ -194,6 +200,69 @@ func runSuite(rep *Report, out io.Writer, seed int64, trials int, hooks func(*fi
 	fmt.Fprintf(out, "shard sweep: done (%d host cores; shard:1 %.0f ms vs shard:8 %.0f ms)\n",
 		runtime.NumCPU(), shard1MS, shard8MS)
 
+	// Hit-burst fast-path sweep: the quick fig10 matrix with the lane
+	// off (fastpath:0 — the stepped reference) and on (fastpath:1),
+	// sequential so the wall-time ratio is the lane's speedup on one
+	// core. Like the shard sweep, every simulated metric must be
+	// byte-identical: fastpath:0 anchors to the legacy quick_seq:fig10
+	// record and fastpath:1 anchors to fastpath:0 —
+	// scripts/bench_compare's -fastpath-sweep mode enforces both. The
+	// wall times are the honest before/after for the closed-form burst
+	// retirement.
+	for _, fp := range []bool{false, true} {
+		frc := suiteQuick(seed)
+		frc.Parallel = 1
+		frc.Fastpath = fp
+		hooks(&frc)
+		var mu sync.Mutex
+		var execTotal uint64
+		inner := frc.OnCell
+		frc.OnCell = func(res sim.Result) {
+			if inner != nil {
+				inner(res)
+			}
+			mu.Lock()
+			execTotal += res.ExecNS
+			mu.Unlock()
+		}
+		name := "fastpath:0"
+		if fp {
+			name = "fastpath:1"
+		}
+		if err := rep.record(name, frc.NumApps()*len(figures.Fig10Schemes), func() (map[string]float64, error) {
+			_, avg, err := figures.Fig10(frc)
+			if err != nil {
+				return nil, err
+			}
+			m := avgMetrics(avg)
+			mu.Lock()
+			m["exec_ns_total"] = float64(execTotal)
+			mu.Unlock()
+			return m, nil
+		}); err != nil {
+			return err
+		}
+	}
+	var fp0MS, fp1MS float64
+	for _, f := range rep.Figures {
+		switch f.Name {
+		case "fastpath:0":
+			fp0MS = f.WallMS
+		case "fastpath:1":
+			fp1MS = f.WallMS
+		}
+	}
+	if err := rep.record("fastpath_speedup", 0, func() (map[string]float64, error) {
+		m := map[string]float64{"fastpath0_ms": fp0MS, "fastpath1_ms": fp1MS}
+		if fp1MS > 0 {
+			m["speedup"] = fp0MS / fp1MS
+		}
+		return m, nil
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fastpath sweep: done (off %.0f ms vs on %.0f ms)\n", fp0MS, fp1MS)
+
 	// Forked-vs-cold recovery sweep: identical trials (asserted by the
 	// figures tests), so the wall-time ratio isolates the fork layer's
 	// amortization of the warm-up fill. The shape mirrors the paper's
@@ -205,6 +274,7 @@ func runSuite(rep *Report, out io.Writer, seed int64, trials int, hooks func(*fi
 	rrc.MemoryBytes = 32 << 20
 	rrc.Apps = []string{"libquantum"}
 	rrc.Parallel = runtime.GOMAXPROCS(0)
+	rrc.Fastpath = true // fills/windows ride the hit-burst lane (byte-identical)
 	hooks(&rrc)
 	sweep := func(cold bool) (map[string]float64, error) {
 		res, err := figures.RecoverySweep(figures.RecoverySweepConfig{

@@ -34,6 +34,8 @@ func main() {
 		replay = flag.String("replay", "", "replay a single schedule token (skips random generation)")
 		shard  = flag.Int("shard", -1,
 			"force every trial's warm fill through the sharded engine at this worker count (0 = legacy engine; -1 = let schedules draw it randomly)")
+		fastpath = flag.Int("fastpath", -1,
+			"force every trial's warm fill's hit-burst fast path: 1 = on, 0 = stepped engine, -1 = let schedules draw it randomly")
 		verbose = flag.Bool("v", false,
 			"print every schedule as it runs and a campaign summary (per-trial wall-time histogram, trial/violation counters by policy class and crash model)")
 		metricsAddr = flag.String("metrics-addr", "",
@@ -108,6 +110,9 @@ func main() {
 		}
 		if *shard >= 0 {
 			s.Shard = *shard
+		}
+		if *fastpath >= 0 {
+			s.Fastpath = *fastpath
 		}
 		if *verbose {
 			fmt.Printf("trial %4d: %s\n", i, s)

@@ -7,7 +7,8 @@
 // random schedule: workload profile × controller scheme × crash point ×
 // crash model × epoch coalescing-window size × intra-trial shard worker
 // count (the warm fill runs through sim.RunSharded, which must leave
-// byte-identical recoverable state) × optional post-crash ECC
+// byte-identical recoverable state) × hit-burst fast-path setting (ditto
+// for sim.RunFast's closed-form burst retirement) × optional post-crash ECC
 // faults, optionally landing the crash inside a two-stage commit group
 // (the SetPushBudget mid-drain hook — which, with an epoch window
 // armed, can tear the close's coalesced commit group half-drained). The trial forks a warmed controller copy-on-write (PR 3), runs
@@ -163,6 +164,14 @@ type Schedule struct {
 	// differential oracle.
 	Shard int
 
+	// Fastpath, when nonzero, runs the warm fill with the hit-burst
+	// fast path enabled (sim.RunFast / sim.RunShardedFast). The lane's
+	// byte-identity contract means the warmed state — and therefore
+	// every downstream crash/recovery outcome — must be identical with
+	// the lane on or off; this dimension audits that contract against
+	// the differential oracle, continuously.
+	Fastpath int
+
 	Warm  int // requests the shared warm parent executes before forking
 	Extra int // requests the forked child executes before the crash
 
@@ -195,6 +204,9 @@ func (s Schedule) String() string {
 	}
 	if s.Shard != 0 {
 		tok += fmt.Sprintf(" shard=%d", s.Shard)
+	}
+	if s.Fastpath != 0 {
+		tok += fmt.Sprintf(" fastpath=%d", s.Fastpath)
 	}
 	return tok
 }
@@ -230,7 +242,7 @@ func ParseSchedule(tok string) (Schedule, error) {
 				return Schedule{}, fmt.Errorf("crashfuzz: unknown crash model %q", v)
 			}
 			s.Model = m
-		case "warm", "extra", "mid", "faults", "tseed", "cseed", "epoch", "shard":
+		case "warm", "extra", "mid", "faults", "tseed", "cseed", "epoch", "shard", "fastpath":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
 				return Schedule{}, fmt.Errorf("crashfuzz: field %s: %v", k, err)
@@ -252,6 +264,8 @@ func ParseSchedule(tok string) (Schedule, error) {
 				s.Epoch = int(n)
 			case "shard":
 				s.Shard = int(n)
+			case "fastpath":
+				s.Fastpath = int(n)
 			}
 		default:
 			return Schedule{}, fmt.Errorf("crashfuzz: unknown token field %q", k)
@@ -267,7 +281,7 @@ func (s *Schedule) validate() error {
 	if s.Profile == "" {
 		return errors.New("crashfuzz: schedule has no profile")
 	}
-	if s.Warm < 0 || s.Faults < 0 || s.Epoch < 0 || s.Shard < 0 {
+	if s.Warm < 0 || s.Faults < 0 || s.Epoch < 0 || s.Shard < 0 || s.Fastpath < 0 {
 		return errors.New("crashfuzz: negative schedule dimension")
 	}
 	if s.Extra < 1 || s.Extra > MaxExtra {
@@ -284,11 +298,13 @@ func RandomSchedule(rng *rand.Rand, traceSeed int64) Schedule {
 	epochs := []int{0, 4, 16} // legacy eager path plus two coalescing-window sizes
 	shards := []int{0, 4}     // legacy single-plane engine plus a sharded warm fill
 	s := Schedule{
-		Profile:   Profiles[rng.Intn(len(Profiles))],
-		Combo:     combos[rng.Intn(len(combos))],
-		Model:     nvm.CrashModel(rng.Intn(len(nvm.CrashModels()))),
-		Epoch:     epochs[rng.Intn(len(epochs))],
-		Shard:     shards[rng.Intn(len(shards))],
+		Profile:  Profiles[rng.Intn(len(Profiles))],
+		Combo:    combos[rng.Intn(len(combos))],
+		Model:    nvm.CrashModel(rng.Intn(len(nvm.CrashModels()))),
+		Epoch:    epochs[rng.Intn(len(epochs))],
+		Shard:    shards[rng.Intn(len(shards))],
+		Fastpath: rng.Intn(2), // stepped warm fill or hit-burst fast lane
+
 		Warm:      warms[rng.Intn(len(warms))],
 		Extra:     1 + rng.Intn(MaxExtra),
 		MidCommit: -1,
@@ -333,12 +349,13 @@ type parent struct {
 }
 
 type parentKey struct {
-	profile string
-	combo   Combo
-	epoch   int
-	shard   int
-	warm    int
-	tseed   int64
+	profile  string
+	combo    Combo
+	epoch    int
+	shard    int
+	fastpath int
+	warm     int
+	tseed    int64
 }
 
 // Runner executes trials, caching warm parents between them. Not safe
@@ -373,7 +390,7 @@ func NewRunner() *Runner {
 func arenaLen(warm int) int { return warm + MaxExtra + 1 + PostRunRequests }
 
 func (r *Runner) parent(s Schedule) (*parent, error) {
-	key := parentKey{profile: s.Profile, combo: s.Combo, epoch: s.Epoch, shard: s.Shard, warm: s.Warm, tseed: s.TraceSeed}
+	key := parentKey{profile: s.Profile, combo: s.Combo, epoch: s.Epoch, shard: s.Shard, fastpath: s.Fastpath, warm: s.Warm, tseed: s.TraceSeed}
 	if p, ok := r.parents[key]; ok {
 		return p, nil
 	}
@@ -389,12 +406,20 @@ func (r *Runner) parent(s Schedule) (*parent, error) {
 	}
 	arena := r.arenas.Get(prof, s.TraceSeed, arenaLen(s.Warm))
 	if s.Warm > 0 {
-		if s.Shard > 0 {
+		switch {
+		case s.Shard > 0 && s.Fastpath != 0:
+			_, err = sim.RunShardedFast(ctrl, arena.Source(), s.Warm, s.Shard)
+		case s.Shard > 0:
 			// Sharded warm fill: the content-plane oracle must leave the
 			// controller in byte-identical state, so crash/recovery trials
 			// on top of it audit the sharding engine's neutrality contract.
 			_, err = sim.RunSharded(ctrl, arena.Source(), s.Warm, s.Shard, nil)
-		} else {
+		case s.Fastpath != 0:
+			// Fast-lane warm fill: burst retirement must leave the same
+			// recoverable state as the stepped engine (byte-identity
+			// contract), audited here by every downstream oracle check.
+			_, err = sim.RunFast(ctrl, arena.Source(), s.Warm)
+		default:
 			_, err = sim.Run(ctrl, arena.Source(), s.Warm)
 		}
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sort"
 
 	"anubis/internal/memctrl"
@@ -48,6 +49,14 @@ type RunConfig struct {
 	// engine, whose simulated metrics are byte-identical at every
 	// count — the shard-sweep bench gate enforces it.
 	Shard int
+	// Fastpath enables the hit-burst fast lane (sim.RunFast /
+	// sim.RunShardedFast): steady-state full-hit requests retire in
+	// closed-form batches with an exact fallback. Simulated metrics are
+	// byte-identical either way — only host wall-clock changes — which
+	// the -fastpath-sweep bench gate enforces. Cells with a trace probe
+	// attached fall back to the stepped engine (the lane takes no
+	// per-request observation).
+	Fastpath bool
 	// Parallel is the evaluation engine's worker count: how many
 	// (scheme, app, size) simulation cells run concurrently. 0 means
 	// runtime.GOMAXPROCS(0); 1 reproduces the legacy sequential path.
@@ -162,12 +171,33 @@ func (rc RunConfig) run(f sim.Family, s memctrl.Scheme, p trace.Profile) (sim.Re
 	if rc.Trace != nil {
 		probe = rc.Trace.Scope(fmt.Sprintf("%s/%s/%s", f, s, p.Name))
 	}
-	var res sim.Result
-	if rc.Shard > 0 {
-		res, err = sim.RunSharded(ctrl, rc.source(p), rc.Requests, rc.Shard, probe)
-	} else {
-		res, err = sim.RunObserved(ctrl, rc.source(p), rc.Requests, probe)
+	ctx := rc.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	var res sim.Result
+	// Label the cell for CPU/heap profiles: `go tool pprof` can then
+	// slice a whole-sweep profile by app, scheme, family or engine
+	// (-tagfocus/-tagshow). Labels only annotate samples — they never
+	// change what runs. See README § Profiling a sweep.
+	pprof.Do(ctx, pprof.Labels(
+		"cell", fmt.Sprintf("%s/%s/%s", f, s, p.Name),
+		"profile", p.Name,
+		"scheme", s.String(),
+		"family", f.String(),
+		"fastpath", fmt.Sprintf("%t", rc.Fastpath),
+	), func(context.Context) {
+		switch {
+		case rc.Shard > 0 && rc.Fastpath && probe == nil:
+			res, err = sim.RunShardedFast(ctrl, rc.source(p), rc.Requests, rc.Shard)
+		case rc.Shard > 0:
+			res, err = sim.RunSharded(ctrl, rc.source(p), rc.Requests, rc.Shard, probe)
+		case rc.Fastpath && probe == nil:
+			res, err = sim.RunFast(ctrl, rc.source(p), rc.Requests)
+		default:
+			res, err = sim.RunObserved(ctrl, rc.source(p), rc.Requests, probe)
+		}
+	})
 	if err == nil && rc.OnCell != nil {
 		rc.OnCell(res)
 	}

@@ -87,6 +87,11 @@ type Bonsai struct {
 	epochDirty  map[uint64]struct{}
 	epochPages  []uint64
 	epochHash   []uint64
+
+	// fp is the hit-burst fast lane (bonsai_fastpath.go). Disabled by
+	// default; every legacy entry point flushes it defensively, so the
+	// two planes can never observe each other mid-run.
+	fp bonsaiFastLane
 }
 
 // NewBonsai constructs a Bonsai-family controller for cfg.Scheme, which
@@ -216,6 +221,7 @@ func (b *Bonsai) SetProbe(p obs.Probe) { b.probe = p }
 
 // Stats returns run-time statistics.
 func (b *Bonsai) Stats() RunStats {
+	b.flushFastRun()
 	s := b.stats
 	s.NVM = b.dev.Stats()
 	s.CounterCache = b.cCache.Stats()
@@ -379,6 +385,7 @@ func (b *Bonsai) checkAddr(idx uint64) error {
 
 // ReadBlock decrypts and verifies one data block.
 func (b *Bonsai) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
+	b.flushFastRun()
 	var zero [BlockBytes]byte
 	if err := b.checkAddr(idx); err != nil {
 		return zero, err
@@ -435,6 +442,7 @@ func (b *Bonsai) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 // epoch pipeline (bonsai_epoch.go); otherwise the legacy lockstep path
 // runs, byte-identical to pre-epoch builds.
 func (b *Bonsai) WriteBlock(idx uint64, data [BlockBytes]byte) error {
+	b.flushFastRun()
 	if b.cfg.EpochRequests > 1 {
 		return b.writeBlockEpoch(idx, data)
 	}
@@ -687,6 +695,7 @@ func (b *Bonsai) commitPending() {
 
 // FlushCaches writes back all dirty metadata (orderly shutdown).
 func (b *Bonsai) FlushCaches() {
+	b.flushFastRun()
 	// An open epoch window drains first: flushed counter lines may carry
 	// content the stale root register does not cover yet. A close
 	// failure here is an integrity error that every subsequent
@@ -711,6 +720,10 @@ func (b *Bonsai) Crash() { b.CrashWith(nvm.CrashFullADR, nil) }
 // nvm.CrashModel). Volatile controller state is lost identically under
 // every model.
 func (b *Bonsai) CrashWith(model nvm.CrashModel, rng *rand.Rand) {
+	// The fast lane's deferred work is all timeless and would have been
+	// applied already on the stepped path — fold it in before power dies
+	// so the crashed image is byte-identical either way.
+	b.flushFastRun()
 	b.dev.CrashWith(model, rng)
 	b.cCache.DropAll()
 	b.tCache.DropAll()

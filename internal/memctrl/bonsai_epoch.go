@@ -268,6 +268,7 @@ func (b *Bonsai) closeEpoch() error {
 // controllers. The harness calls it at end-of-run so the reported
 // state and timings cover the whole workload.
 func (b *Bonsai) FlushEpoch() error {
+	b.flushFastRun()
 	if b.crashed || b.cfg.EpochRequests <= 1 {
 		return nil
 	}

@@ -1,0 +1,317 @@
+package memctrl
+
+// Hit-burst fast path for the Bonsai family (see DESIGN.md §14).
+//
+// In steady state most requests of a cache-friendly profile are full
+// hits whose latency is a closed-form function of current state: a read
+// costs ReadNS (data fetch, visible residual past the free metadata
+// walk) + HashNS (MAC check); a write costs HashNS (pipelined
+// encrypt+MAC occupancy) with the data drain proceeding asynchronously.
+// TryFastRead/TryFastWrite classify a request as fast-eligible with a
+// conservative guard and retire it with exactly those closed-form
+// charges, skipping the sorted-ring/heap scheduler walk, the split
+// counter unpack/pack, the per-write Merkle path walk and the staging
+// copies of the legacy path. Runs of consecutive writes to one counter
+// page share a single deferred pack + tree walk + root-register update
+// (eager mode) or a single journal note (epoch mode); the first
+// ineligible request flushes the run and falls back to the byte-exact
+// legacy path.
+//
+// Exactness contract: with the fast path on or off, every simulated
+// metric — virtual clock, RunStats, device stats and wear, cache stats
+// and LRU victim order, attribution ledger, journal and register
+// content — is byte-identical. The guard only admits requests whose
+// legacy execution provably (a) waits on nothing (WPQ below watermark,
+// target bank idle, free WPQ slot), (b) performs no conditional side
+// effects (no counter overflow, no stop-loss persist, no first-dirty
+// shadow write, no epoch close, no wear-leveling remap, no eviction),
+// and (c) commits exactly one data-region write per request plus
+// timeless on-chip register/journal applies, so the one real dev.Push
+// per write plus the deferred timeless work reproduces the stepped
+// model exactly. Attribution is charged immediately per request (the
+// amounts are closed-form constants), which keeps the sharded spine's
+// per-owner ledger decomposition sum-exact.
+
+import (
+	"anubis/internal/cache"
+	"anubis/internal/counter"
+	"anubis/internal/ecc"
+	"anubis/internal/merkle"
+	"anubis/internal/nvm"
+	"anubis/internal/obs"
+)
+
+// bonsaiFastLane is the Bonsai fast-path state. The reads/writes
+// counters are stats deferred from retired requests (folded into
+// RunStats and device stats at flush); batches/requests are cumulative
+// host-plane telemetry, deliberately outside RunStats so the simulated
+// byte-identity surface is independent of whether the lane ran.
+type bonsaiFastLane struct {
+	enabled bool
+
+	// Deferred bulk stats for the open burst.
+	reads  uint64
+	writes uint64
+
+	// Open write run: consecutive fast writes to one counter page.
+	open       bool
+	oracle     bool
+	page       uint64
+	line       *cache.Line
+	split      counter.Split    // evolving counters (non-oracle runs)
+	ctrBlock   [BlockBytes]byte // last oracle entry's packed counter block
+	leafHash   uint64           // last oracle entry's leaf hash
+	pageWrites uint64
+	epochStart [BlockBytes]byte // line content at run open (epoch journal Old)
+
+	// Cumulative host-plane counters (FastPathStats).
+	batches  uint64
+	requests uint64
+}
+
+// SetFastPath enables or disables the hit-burst lane. Any open burst is
+// flushed first, so toggling mid-run is always exact.
+func (b *Bonsai) SetFastPath(on bool) {
+	b.flushFastRun()
+	b.fp.enabled = on
+}
+
+// FastPathStats reports cumulative host-plane telemetry: the number of
+// flushed bursts that retired at least one fast request, and the total
+// fast-retired requests. Never part of RunStats.
+func (b *Bonsai) FastPathStats() (batches, requests uint64) {
+	return b.fp.batches, b.fp.requests
+}
+
+// FlushFastRun closes any open write run and folds the burst's deferred
+// stats into RunStats/device stats. All flushed work is timeless, so
+// the flush is exact at any instant; every legacy entry point performs
+// it defensively.
+func (b *Bonsai) FlushFastRun() { b.flushFastRun() }
+
+func (b *Bonsai) flushFastRun() {
+	fp := &b.fp
+	if fp.open {
+		b.closeFastWriteRun()
+	}
+	if fp.reads == 0 && fp.writes == 0 {
+		return
+	}
+	b.stats.ReadRequests += fp.reads
+	b.stats.WriteRequests += fp.writes
+	b.dev.AddBulkReads(nvm.RegionData, fp.reads)
+	fp.batches++
+	fp.requests += fp.reads + fp.writes
+	fp.reads, fp.writes = 0, 0
+}
+
+// TryFastRead retires a read in closed form when its counter line is
+// resident and the device would stall on nothing. It returns false —
+// having changed nothing — when any guard fails; the caller then takes
+// ReadBlock, whose defensive flush closes the burst first. Fast reads
+// skip decryption and verification entirely (the simulation discards
+// read data), so they never consult the possibly-mid-run counter bytes.
+func (b *Bonsai) TryFastRead(idx uint64) bool {
+	fp := &b.fp
+	if !fp.enabled || b.crashed || b.probe != nil || b.wl != nil || idx >= b.numBlocks {
+		return false
+	}
+	line, ok := b.cCache.Peek(idx / counter.SplitMinors)
+	if !ok {
+		return false
+	}
+	done, ok := b.dev.FastReadRetire(nvm.RegionData, idx, b.now)
+	if !ok {
+		return false
+	}
+	// Legacy equivalence: counter hit is free, so the data fetch's whole
+	// ReadNS is the visible residual (data_read), then HashNS of MAC
+	// verification (crypto).
+	b.cCache.Touch(line)
+	att := b.dev.Attr()
+	att.Add(obs.CompDataRead, done-b.now)
+	att.Add(obs.CompCrypto, b.cfg.HashNS)
+	b.now = done + b.cfg.HashNS
+	fp.reads++
+	return true
+}
+
+// TryFastWrite retires a write in closed form when the full guard
+// holds. Consecutive fast writes to one page form a run sharing a
+// single deferred counter pack + tree walk + root-register push (eager
+// mode) or journal note (epoch mode); a write to a different page
+// closes the previous run first (run closes are timeless, so the
+// interleaving stays exact).
+func (b *Bonsai) TryFastWrite(idx uint64, data *[BlockBytes]byte) bool {
+	fp := &b.fp
+	if !fp.enabled || b.crashed || b.probe != nil || b.wl != nil || idx >= b.numBlocks {
+		return false
+	}
+	switch b.cfg.Scheme {
+	case SchemeWriteBack, SchemeOsiris, SchemeAGITRead, SchemeAGITPlus:
+		// Eligible: per-write persists are conditional and guarded away.
+	default:
+		// Strict/Triad/Selective persist metadata on every write; the
+		// legacy path is already the honest cost.
+		return false
+	}
+	page, lane := idx/counter.SplitMinors, int(idx%counter.SplitMinors)
+	e := b.oe
+	if fp.open && (fp.page != page || fp.oracle != (e != nil)) {
+		b.closeFastWriteRun()
+	}
+	if !fp.open && !b.openFastWriteRun(page, e != nil) {
+		return false
+	}
+	// Per-write guards on the open run. A false return leaves the run
+	// open with no state change; the legacy fallback flushes it.
+	if e != nil {
+		if e.Overflow {
+			return false // page re-encryption: legacy path
+		}
+	} else if fp.split.Minors[lane] == counter.MinorMax {
+		return false // minor overflow: legacy path re-encrypts
+	}
+	if b.stopLossApplies() && b.updateCount.Get(page)+1 >= b.cfg.StopLoss {
+		return false // stop-loss persist would fire
+	}
+	if b.cfg.EpochRequests > 1 && b.epochWrites+1 >= b.cfg.EpochRequests {
+		return false // this write closes the epoch window
+	}
+	if b.dev.PushBudget() != -1 || b.dev.DoneBit() || !b.dev.FastWriteOK(b.now) {
+		return false
+	}
+
+	// Retire. Legacy equivalence: Lookup hit (Touch) + MarkDirty (never
+	// a shadow write: AGIT+ runs require an already-dirty line), the
+	// optional stop-loss count, counter increment, HashNS of engine
+	// occupancy, and the one real data Push — which returns b.now
+	// unchanged (FastWriteOK) and is bit-identical to the legacy
+	// one-data-write commit group (PushBudget/DoneBit guards).
+	line := fp.line
+	b.cCache.Touch(line)
+	b.cCache.MarkDirtyLine(line)
+	if b.stopLossApplies() {
+		b.updateCount.Inc(page)
+	}
+	var ctr uint64
+	if e != nil {
+		fp.ctrBlock, fp.leafHash, ctr = e.CtrBlock, e.LeafHash, e.Ctr
+	} else {
+		fp.split.Increment(lane) // cannot overflow: pre-checked
+		ctr = fp.split.Counter(lane)
+	}
+	epoch := b.cfg.EpochRequests > 1
+	if epoch && fp.pageWrites == 0 {
+		b.epochDirty[page] = struct{}{}
+	}
+	fp.pageWrites++
+	b.now += b.cfg.HashNS
+	b.dev.Attr().Add(obs.CompCrypto, b.cfg.HashNS)
+	var w nvm.PendingWrite
+	if e != nil {
+		w = nvm.PendingWrite{Region: nvm.RegionData, Index: idx, Block: e.CT, HasSide: true, Side: e.Side}
+	} else {
+		var ctBlk [BlockBytes]byte
+		b.eng.EncryptTo(ctBlk[:], data[:], idx, ctr)
+		side := nvm.Sideband{ECC: ecc.EncodeBlock(data[:]), MAC: b.eng.DataMAC(idx, ctr, data[:]), Phase: uint8(ctr)}
+		w = nvm.PendingWrite{Region: nvm.RegionData, Index: idx, Block: ctBlk, HasSide: true, Side: side}
+	}
+	b.now = b.dev.Push(w, b.now)
+	if epoch {
+		b.epochWrites++
+	}
+	fp.writes++
+	return true
+}
+
+// openFastWriteRun evaluates the once-per-run guard and captures run
+// state. Pure on failure. Eager mode requires the whole Merkle path
+// resident (the deferred close walk must be all hits) and, under AGIT+,
+// already dirty (so neither the per-write MarkDirty nor the close
+// walk's can trigger a shadow-table write). Epoch mode defers no tree
+// work, so only the counter line matters.
+func (b *Bonsai) openFastWriteRun(page uint64, oracle bool) bool {
+	line, ok := b.cCache.Peek(page)
+	if !ok {
+		return false
+	}
+	agitPlus := b.cfg.Scheme == SchemeAGITPlus
+	if agitPlus && !line.Dirty {
+		return false
+	}
+	if b.cfg.EpochRequests <= 1 {
+		childIdx := page
+		for level := 0; level < b.geom.Levels(); level++ {
+			nodeIdx := childIdx / merkle.Arity
+			tl, resident := b.tCache.Peek(b.geom.Flat(level, nodeIdx))
+			if !resident || (agitPlus && !tl.Dirty) {
+				return false
+			}
+			childIdx = nodeIdx
+		}
+	}
+	fp := &b.fp
+	fp.open, fp.oracle, fp.page, fp.line = true, oracle, page, line
+	fp.pageWrites = 0
+	fp.epochStart = line.Data
+	if !oracle {
+		fp.split = counter.UnpackSplit(line.Data)
+	}
+	return true
+}
+
+// closeFastWriteRun retires the run's deferred page work: pack the
+// final counter block into the cache line, then either one journal
+// note standing in for the run's per-write notes (epoch mode — Old is
+// sticky, so a single note with Old = run-start content and New = the
+// final block is exactly what the per-write sequence leaves behind) or
+// one tree walk + root-register push standing in for the per-write
+// walks (eager mode — same-page writes overwrite the same path slots,
+// and intermediate root values only ever reached the timeless,
+// stat-free register). All timeless: safe at any instant, including
+// the defensive flush inside Crash.
+func (b *Bonsai) closeFastWriteRun() {
+	fp := &b.fp
+	if !fp.open {
+		return
+	}
+	fp.open = false
+	line := fp.line
+	fp.line = nil
+	if fp.pageWrites == 0 {
+		return
+	}
+	var leafHash uint64
+	if fp.oracle {
+		line.Data = fp.ctrBlock
+		leafHash = fp.leafHash
+	} else {
+		line.Data = fp.split.Pack()
+		leafHash = b.eng.ContentHash(line.Data[:])
+	}
+	if b.cfg.EpochRequests > 1 {
+		b.now = b.dev.Push(nvm.PendingWrite{JOp: nvm.JournalNote, JKey: fp.page, JOld: fp.epochStart, Block: line.Data}, b.now)
+		return
+	}
+	// The skipped per-write walks were pure cache hits; credit them so
+	// tree-cache hit statistics match the stepped model.
+	if fp.pageWrites > 1 {
+		b.tCache.AddHits((fp.pageWrites - 1) * uint64(b.geom.Levels()))
+	}
+	if err := b.updateTreePath(fp.page, leafHash); err != nil {
+		// Unreachable: the run-open guard proved the path resident and
+		// runs admit no inserts, so the walk is all hits.
+		panic("memctrl: fast-path close tree walk failed: " + err.Error())
+	}
+	var rootBlk [BlockBytes]byte
+	putU64(rootBlk[:], b.rootHash)
+	b.now = b.dev.Push(nvm.PendingWrite{RegName: regBonsaiRoot, Block: rootBlk}, b.now)
+}
+
+// stopLossApplies reports whether the Osiris stop-loss rule governs
+// this configuration (the same predicate the legacy write paths test).
+func (b *Bonsai) stopLossApplies() bool {
+	return b.cfg.Scheme != SchemeWriteBack && b.cfg.Scheme != SchemeStrict &&
+		b.cfg.Scheme != SchemeSelective && b.cfg.Recovery != RecoveryPhase
+}

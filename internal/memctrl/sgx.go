@@ -96,6 +96,10 @@ type SGX struct {
 	epochSlots  map[uint64]struct{}
 	epochOrder  []uint64 // close-time scratch
 	epochHash   []uint64 // close-time scratch
+
+	// fp is the hit-burst fast lane (sgx_fastpath.go). Disabled by
+	// default; every legacy entry point flushes it defensively.
+	fp sgxFastLane
 }
 
 // NewSGX constructs an SGX-family controller for cfg.Scheme, which must
@@ -492,6 +496,7 @@ func (c *SGX) checkAddr(idx uint64) error {
 
 // ReadBlock decrypts and verifies one data block.
 func (c *SGX) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
+	c.flushFastRun()
 	var zero [BlockBytes]byte
 	if err := c.checkAddr(idx); err != nil {
 		return zero, err
@@ -549,6 +554,7 @@ func (c *SGX) ReadBlock(idx uint64) ([BlockBytes]byte, error) {
 // WriteBlock encrypts and persists one data block plus the metadata
 // updates of the configured scheme, atomically.
 func (c *SGX) WriteBlock(idx uint64, data [BlockBytes]byte) error {
+	c.flushFastRun()
 	if err := c.checkAddr(idx); err != nil {
 		return err
 	}
@@ -738,6 +744,7 @@ func (c *SGX) commitPending() {
 // eviction path (parent nonces are bumped and MACs rebound), leaving
 // NVM fully consistent.
 func (c *SGX) FlushCaches() {
+	c.flushFastRun()
 	// Iterate until stable: writing a block back dirties its parent.
 	for {
 		var dirty []uint64
@@ -780,6 +787,9 @@ func (c *SGX) Crash() { c.CrashWith(nvm.CrashFullADR, nil) }
 // nvm.CrashModel). Volatile controller state is lost identically under
 // every model.
 func (c *SGX) CrashWith(model nvm.CrashModel, rng *rand.Rand) {
+	// See Bonsai.CrashWith: the deferred fast-lane work is timeless and
+	// must land before power dies.
+	c.flushFastRun()
 	c.dev.CrashWith(model, rng)
 	c.mCache.DropAll()
 	c.updateCount.Reset()
@@ -829,6 +839,7 @@ func (c *SGX) SetProbe(p obs.Probe) { c.probe = p }
 
 // Stats returns run-time statistics.
 func (c *SGX) Stats() RunStats {
+	c.flushFastRun()
 	s := c.stats
 	s.NVM = c.dev.Stats()
 	s.TreeCache = c.mCache.Stats()

@@ -1,0 +1,189 @@
+package memctrl
+
+// Hit-burst fast path for the SGX family (see DESIGN.md §14 and the
+// Bonsai twin in bonsai_fastpath.go — the exactness contract is
+// identical). The SGX tree is lazy, which makes the fast lane simpler
+// than Bonsai's: an eligible write touches only the leaf counter block
+// (no tree walk to defer), so a run's deferred work is just the final
+// counter pack into the cache line. ASIT is ineligible for fast writes
+// (every write persists a shadow-table entry and refreshes the
+// protection tree — the legacy path is the honest cost) but its reads
+// are as fast-eligible as anyone's.
+
+import (
+	"anubis/internal/cache"
+	"anubis/internal/counter"
+	"anubis/internal/ecc"
+	"anubis/internal/nvm"
+	"anubis/internal/obs"
+)
+
+// sgxFastLane is the SGX fast-path state; field roles mirror
+// bonsaiFastLane.
+type sgxFastLane struct {
+	enabled bool
+
+	// Deferred bulk stats for the open burst.
+	reads  uint64
+	writes uint64
+
+	// Open write run: consecutive fast writes to one leaf counter block.
+	open bool
+	leaf uint64
+	line *cache.Line
+	g    counter.SGX // evolving counters (also under the oracle:
+	// counter evolution is trace-local either way)
+	leafWrites uint64
+
+	// Cumulative host-plane counters (FastPathStats).
+	batches  uint64
+	requests uint64
+}
+
+// SetFastPath enables or disables the hit-burst lane, flushing any open
+// burst first.
+func (c *SGX) SetFastPath(on bool) {
+	c.flushFastRun()
+	c.fp.enabled = on
+}
+
+// FastPathStats reports cumulative host-plane telemetry (see
+// Bonsai.FastPathStats).
+func (c *SGX) FastPathStats() (batches, requests uint64) {
+	return c.fp.batches, c.fp.requests
+}
+
+// FlushFastRun closes any open write run and folds the burst's deferred
+// stats into RunStats/device stats. Timeless and exact at any instant.
+func (c *SGX) FlushFastRun() { c.flushFastRun() }
+
+func (c *SGX) flushFastRun() {
+	fp := &c.fp
+	if fp.open {
+		c.closeFastWriteRun()
+	}
+	if fp.reads == 0 && fp.writes == 0 {
+		return
+	}
+	c.stats.ReadRequests += fp.reads
+	c.stats.WriteRequests += fp.writes
+	c.dev.AddBulkReads(nvm.RegionData, fp.reads)
+	fp.batches++
+	fp.requests += fp.reads + fp.writes
+	fp.reads, fp.writes = 0, 0
+}
+
+// TryFastRead retires a read in closed form when its leaf metadata
+// block is resident, no writeback or staged group is in flight, and the
+// device would stall on nothing. False means untouched state; the
+// ReadBlock fallback flushes the burst first. Works for every SGX
+// scheme: an all-hit read has no scheme-dependent side effects
+// (finishOp is a no-op with empty wbq/pending).
+func (c *SGX) TryFastRead(idx uint64) bool {
+	fp := &c.fp
+	if !fp.enabled || c.crashed || c.probe != nil || c.wl != nil || idx >= c.numBlocks {
+		return false
+	}
+	if len(c.wbq) != 0 || len(c.pending) != 0 {
+		return false
+	}
+	// A fast read of the open run's own leaf is fine: decrypt is
+	// skipped, so the not-yet-packed line bytes are never consulted.
+	line, ok := c.mCache.Peek(idx / counter.SGXCounters)
+	if !ok {
+		return false
+	}
+	done, ok := c.dev.FastReadRetire(nvm.RegionData, idx, c.now)
+	if !ok {
+		return false
+	}
+	c.mCache.Touch(line)
+	att := c.dev.Attr()
+	att.Add(obs.CompDataRead, done-c.now)
+	att.Add(obs.CompCrypto, c.cfg.HashNS)
+	c.now = done + c.cfg.HashNS
+	fp.reads++
+	return true
+}
+
+// TryFastWrite retires a WriteBack/Osiris write in closed form: Touch +
+// MarkDirty on the resident leaf, optional stop-loss count, local
+// counter increment, HashNS engine occupancy, one real data Push.
+// Strict propagates eagerly and ASIT persists a shadow entry per write
+// — both stay on the legacy path.
+func (c *SGX) TryFastWrite(idx uint64, data *[BlockBytes]byte) bool {
+	fp := &c.fp
+	if !fp.enabled || c.crashed || c.probe != nil || c.wl != nil || idx >= c.numBlocks {
+		return false
+	}
+	if c.cfg.Scheme != SchemeWriteBack && c.cfg.Scheme != SchemeOsiris {
+		return false
+	}
+	if len(c.wbq) != 0 || len(c.pending) != 0 {
+		return false
+	}
+	leaf, lane := idx/counter.SGXCounters, int(idx%counter.SGXCounters)
+	if fp.open && fp.leaf != leaf {
+		c.closeFastWriteRun()
+	}
+	if !fp.open {
+		line, ok := c.mCache.Peek(leaf)
+		if !ok {
+			return false
+		}
+		fp.open, fp.leaf, fp.line = true, leaf, line
+		fp.g = counter.UnpackSGX(line.Data)
+		fp.leafWrites = 0
+	}
+	// Per-write guards; false leaves the run open and unchanged.
+	if fp.g.Ctr[lane] == counter.SGXCounterMask {
+		return false // 56-bit wraparound: the legacy path reports it
+	}
+	if c.cfg.Scheme == SchemeOsiris && c.updateCount.Get(leaf)+1 >= c.cfg.StopLoss {
+		return false // stop-loss persist would fire
+	}
+	if c.dev.PushBudget() != -1 || c.dev.DoneBit() || !c.dev.FastWriteOK(c.now) {
+		return false
+	}
+
+	// Retire.
+	line := fp.line
+	c.mCache.Touch(line)
+	c.mCache.MarkDirtyLine(line)
+	if c.cfg.Scheme == SchemeOsiris {
+		c.updateCount.Inc(leaf)
+	}
+	fp.g.Increment(lane) // cannot wrap: pre-checked
+	fp.leafWrites++
+	c.now += c.cfg.HashNS
+	c.dev.Attr().Add(obs.CompCrypto, c.cfg.HashNS)
+	var w nvm.PendingWrite
+	if e := c.oe; e != nil {
+		w = nvm.PendingWrite{Region: nvm.RegionData, Index: idx, Block: e.CT, HasSide: true, Side: e.Side}
+	} else {
+		ctr := fp.g.Ctr[lane]
+		var ctBlk [BlockBytes]byte
+		c.eng.EncryptTo(ctBlk[:], data[:], idx, ctr)
+		side := nvm.Sideband{ECC: ecc.EncodeBlock(data[:]), MAC: c.eng.DataMAC(idx, ctr, data[:])}
+		w = nvm.PendingWrite{Region: nvm.RegionData, Index: idx, Block: ctBlk, HasSide: true, Side: side}
+	}
+	c.now = c.dev.Push(w, c.now)
+	fp.writes++
+	return true
+}
+
+// closeFastWriteRun packs the run's final counter state into the cache
+// line. Timeless; a run that retired nothing leaves the line untouched.
+func (c *SGX) closeFastWriteRun() {
+	fp := &c.fp
+	if !fp.open {
+		return
+	}
+	fp.open = false
+	line := fp.line
+	fp.line = nil
+	if fp.leafWrites == 0 {
+		return
+	}
+	line.Data = fp.g.Pack()
+}

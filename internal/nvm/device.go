@@ -736,7 +736,7 @@ func (d *Device) GetReg64(name string) (uint64, bool) {
 
 // Snapshot freezes the device's stored image copy-on-write: every
 // currently allocated page in every region becomes immutable in place,
-// and the next write to any of them first duplicates that 16-block
+// and the next write to any of them first duplicates that
 // page. O(regions) — no page data is touched. Snapshot is implied by
 // Fork; calling it directly is only useful to bound when a long-lived
 // reference (e.g. an image Save in another goroutine) stops observing

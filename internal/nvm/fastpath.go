@@ -1,0 +1,61 @@
+package nvm
+
+// Hit-burst fast-path primitives. The memctrl fast lane retires runs of
+// steady-state full hits with closed-form latency; these helpers expose
+// exactly the device-side checks and state advances that make the closed
+// form provably identical to the stepped readClock/Push model.
+//
+// Contract: FastReadRetire mutates device state only when it succeeds,
+// and on success its effect is bit-identical to readClock for a request
+// that waits on nothing (no drain stall, no bank conflict). FastWriteOK
+// is a pure eligibility check (the prune it performs is idempotent and
+// unobservable: pruning at `now` then pushing at `now` is what Push does
+// anyway) guaranteeing the subsequent Push returns `now` unchanged.
+// Device read stats for fast reads are batched by the controller via
+// AddBulkReads at run close, keeping the per-request path to two
+// comparisons and one store.
+
+// FastReadRetire checks whether a read of (r, idx) arriving at now would
+// complete without any stall — write queue below the drain watermark and
+// target bank idle — and, if so, advances the bank clock exactly as
+// readClock would and returns the completion time now+ReadNS. On failure
+// it returns (0, false) having changed nothing observable (the WPQ prune
+// it performs is the same prune readClock runs first).
+//
+// Stats (Reads/ReadsByRegion) are NOT bumped here; callers batch them
+// with AddBulkReads when the run closes.
+func (d *Device) FastReadRetire(r Region, idx uint64, now uint64) (uint64, bool) {
+	if wm := d.timing.DrainWatermark; wm > 0 {
+		d.wpq.prune(now)
+		if d.wpq.size >= wm {
+			return 0, false
+		}
+	}
+	b := d.bankOf(r, idx)
+	if d.bankFree[b] > now {
+		return 0, false
+	}
+	done := now + d.timing.ReadNS
+	d.bankFree[b] = done
+	return done, true
+}
+
+// FastWriteOK reports whether a data-block Push arriving at now would
+// return now unchanged — i.e. the WPQ has a free slot so the caller
+// never stalls. Bank and port occupancy are irrelevant to the caller's
+// visible time (the drain proceeds asynchronously), so the fast lane
+// still issues the real Push to keep device state exact; this check only
+// proves the Push is caller-time-neutral. Pure: the prune is the same
+// prune Push runs first.
+func (d *Device) FastWriteOK(now uint64) bool {
+	d.wpq.prune(now)
+	return d.wpq.size < d.timing.WPQEntries
+}
+
+// AddBulkReads credits n device reads of region r in one step. The fast
+// lane uses it to batch the per-read stats bumps it skipped; the result
+// is identical to n individual ReadAtPtr stat updates.
+func (d *Device) AddBulkReads(r Region, n uint64) {
+	d.stats.Reads += n
+	d.stats.ReadsByRegion[r] += n
+}

@@ -30,15 +30,16 @@ import (
 // to pages[h-1].
 
 const (
-	// pageShift selects 16-block (1 KB data) pages. Page size trades the
+	// pageShift selects 8-block (512 B data) pages. Page size trades the
 	// cost of a cold first touch (allocating and zeroing one fresh page)
 	// against directory length and per-page header overhead. Simulation
 	// sweeps are first-touch heavy — every (scheme, app) cell starts from
-	// a fresh device and visits a sliver of a multi-GB address space — so
-	// pages are kept small enough that a cold miss costs about what the
-	// old triple map insert (store + wear + side) did, while a page hit
-	// stays two slice indexations and a bit test.
-	pageShift  = 4
+	// a fresh device and visits a sliver of a multi-GB address space, and
+	// random-access workloads touch one block per cold page — so smaller
+	// pages waste less zeroing per first touch, while a page hit stays
+	// two slice indexations and a bit test (and usually just the
+	// one-entry memo below).
+	pageShift  = 3
 	pageBlocks = 1 << pageShift
 	pageMask   = pageBlocks - 1
 
@@ -84,12 +85,43 @@ func nextStoreID() int64 { return storeIDs.Add(1) }
 var zeroBlock [BlockBytes]byte
 
 // pagedStore is one region's sparse block store.
+//
+// lastPi/lastP memoize the most recently resolved page. Simulated
+// accesses are bursty within a page (sequential fills, tree path
+// walks, counter-line re-reads), so the memo short-circuits the
+// directory indirection for the common repeat hit. The invariant that
+// keeps it sound: only slot() replaces a directory entry (COW), and
+// slot() refreshes the memo whenever it does, so lastP always equals
+// the page currently installed at lastPi. slot()'s memo hit
+// additionally requires the owner tag to match, so a frozen page can
+// be served to readers but never handed out for in-place mutation.
 type pagedStore struct {
-	dir   []int32          // dense directory of 1-based handles (noscan)
-	pages []*page          // handle h -> pages[h-1]
-	over  map[uint64]*page // pages at index >= maxDirPages
-	count int              // blocks with the presence bit set
-	owner int64            // COW epoch: pages with page.owner==owner are writable in place
+	dir    []int32          // dense directory of 1-based handles (noscan)
+	pages  []*page          // handle h -> pages[h-1]
+	over   map[uint64]*page // pages at index >= maxDirPages
+	count  int              // blocks with the presence bit set
+	owner  int64            // COW epoch: pages with page.owner==owner are writable in place
+	lastPi uint64           // page index of the memoized page
+	lastP  *page            // memoized page (nil = no memo)
+	slab   []page           // carve space for newPage; amortizes allocation
+}
+
+// slabPages sizes the page-allocation slab. First-touch-heavy sweeps
+// allocate thousands of pages per region; carving them from one large
+// chunk replaces a per-page malloc (object header, zeroing, GC scan
+// metadata) with a slice re-header. A few tens of KB per slab keeps
+// the waste of a barely-touched region small while amortizing well.
+const slabPages = 64
+
+// newPage carves a zeroed page tagged with the store's owner epoch.
+func (s *pagedStore) newPage() *page {
+	if len(s.slab) == 0 {
+		s.slab = make([]page, slabPages)
+	}
+	p := &s.slab[0]
+	s.slab = s.slab[1:]
+	p.owner = s.owner
+	return p
 }
 
 // reserve pre-sizes the directory to hold pages [0, n), clamped to the
@@ -107,16 +139,25 @@ func (s *pagedStore) reserve(n uint64) {
 }
 
 // pageAt returns the page holding idx, or nil if it was never touched.
+// Read-only: a memo hit may return a frozen page (fine for readers).
 func (s *pagedStore) pageAt(idx uint64) *page {
 	pi := idx >> pageShift
+	if s.lastP != nil && s.lastPi == pi {
+		return s.lastP
+	}
 	if pi < uint64(len(s.dir)) {
 		if h := s.dir[pi]; h != 0 {
-			return s.pages[h-1]
+			p := s.pages[h-1]
+			s.lastPi, s.lastP = pi, p
+			return p
 		}
 		return nil
 	}
 	if pi >= maxDirPages {
-		return s.over[pi]
+		if p := s.over[pi]; p != nil {
+			s.lastPi, s.lastP = pi, p
+			return p
+		}
 	}
 	return nil
 }
@@ -130,6 +171,9 @@ func (s *pagedStore) pageAt(idx uint64) *page {
 // never trigger a copy.
 func (s *pagedStore) slot(idx uint64) (*page, uint64) {
 	pi := idx >> pageShift
+	if p := s.lastP; p != nil && s.lastPi == pi && p.owner == s.owner {
+		return p, idx & pageMask
+	}
 	if pi < maxDirPages {
 		if pi >= uint64(len(s.dir)) {
 			// Geometric growth keeps repeated appends amortized O(1).
@@ -146,7 +190,7 @@ func (s *pagedStore) slot(idx uint64) (*page, uint64) {
 		}
 		h := s.dir[pi]
 		if h == 0 {
-			s.pages = append(s.pages, &page{owner: s.owner})
+			s.pages = append(s.pages, s.newPage())
 			h = int32(len(s.pages))
 			s.dir[pi] = h
 		}
@@ -155,6 +199,7 @@ func (s *pagedStore) slot(idx uint64) (*page, uint64) {
 			p = s.copyPage(p)
 			s.pages[h-1] = p
 		}
+		s.lastPi, s.lastP = pi, p
 		return p, idx & pageMask
 	}
 	if s.over == nil {
@@ -162,12 +207,13 @@ func (s *pagedStore) slot(idx uint64) (*page, uint64) {
 	}
 	p := s.over[pi]
 	if p == nil {
-		p = &page{owner: s.owner}
+		p = s.newPage()
 		s.over[pi] = p
 	} else if p.owner != s.owner {
 		p = s.copyPage(p)
 		s.over[pi] = p
 	}
+	s.lastPi, s.lastP = pi, p
 	return p, idx & pageMask
 }
 
@@ -175,7 +221,7 @@ func (s *pagedStore) slot(idx uint64) (*page, uint64) {
 // sideband array — reached through a pointer — is duplicated too:
 // sharing it would let a child's sideband write reach the parent.
 func (s *pagedStore) copyPage(p *page) *page {
-	np := new(page)
+	np := s.newPage()
 	*np = *p
 	if p.side != nil {
 		np.side = new([pageBlocks]Sideband)
@@ -196,7 +242,7 @@ func (s *pagedStore) freeze() {
 // page. Only the directory structures are copied eagerly (the int32
 // handle directory, the noscan page-pointer slice, and the overflow
 // map header); page payloads are shared until first write, when slot()
-// duplicates the touched 16-block page on whichever side writes first.
+// duplicates the touched page on whichever side writes first.
 // Parent and child are fully independent afterwards and each may be
 // forked again.
 func (s *pagedStore) fork() pagedStore {

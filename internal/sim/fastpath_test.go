@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"anubis/internal/memctrl"
+	"anubis/internal/obs"
+	"anubis/internal/trace"
+)
+
+// fastCase enumerates the fast-path identity matrix: every scheme of
+// both families (eligible or not — ineligible schemes must simply never
+// engage, not diverge), at the epoch windows and shard counts the bench
+// -fastpath-sweep gate also covers.
+type fastCase struct {
+	name   string
+	family Family
+	scheme memctrl.Scheme
+}
+
+func fastCases() []fastCase {
+	return []fastCase{
+		{"bonsai/writeback", FamilyBonsai, memctrl.SchemeWriteBack},
+		{"bonsai/strict", FamilyBonsai, memctrl.SchemeStrict},
+		{"bonsai/osiris", FamilyBonsai, memctrl.SchemeOsiris},
+		{"bonsai/agit-read", FamilyBonsai, memctrl.SchemeAGITRead},
+		{"bonsai/agit-plus", FamilyBonsai, memctrl.SchemeAGITPlus},
+		{"bonsai/triad", FamilyBonsai, memctrl.SchemeTriad},
+		{"bonsai/selective", FamilyBonsai, memctrl.SchemeSelective},
+		{"sgx/writeback", FamilySGX, memctrl.SchemeWriteBack},
+		{"sgx/strict", FamilySGX, memctrl.SchemeStrict},
+		{"sgx/osiris", FamilySGX, memctrl.SchemeOsiris},
+		{"sgx/asit", FamilySGX, memctrl.SchemeASIT},
+	}
+}
+
+// TestFastPathByteIdentical is the tentpole contract: at seed 99 the
+// hit-burst fast path produces a Result deep-equal to the stepped
+// engine — clock, stats, device traffic, cache statistics, attribution
+// ledger, latency histograms — for every scheme × family × epoch
+// window × shard count. The lane must also actually engage on the
+// cache-friendly cells, or the identity check would be vacuous.
+func TestFastPathByteIdentical(t *testing.T) {
+	prof, _ := trace.ByName("libquantum")
+	const n, seed = 4000, 99
+	engaged := false
+	for _, c := range fastCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, epoch := range []int{0, 4, 16} {
+				cfg := simConfig(c.scheme)
+				cfg.EpochRequests = epoch
+				ctrl, err := NewController(c.family, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Run(ctrl, trace.NewGenerator(prof, seed), n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range []int{1, 4} {
+					ctrl, err := NewController(c.family, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var got Result
+					if shards == 1 {
+						got, err = RunFast(ctrl, trace.NewGenerator(prof, seed), n)
+					} else {
+						got, err = RunShardedFast(ctrl, trace.NewGenerator(prof, seed), n, shards)
+					}
+					if err != nil {
+						t.Fatalf("epoch=%d shards=%d: %v", epoch, shards, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("epoch=%d shards=%d: fast-path result differs from stepped engine\n got: %+v\nwant: %+v",
+							epoch, shards, got, want)
+					}
+					if fl, ok := ctrl.(interface {
+						FastPathStats() (uint64, uint64)
+					}); ok {
+						if _, reqs := fl.FastPathStats(); reqs > 0 {
+							engaged = true
+						}
+					}
+				}
+			}
+		})
+	}
+	if !engaged {
+		t.Fatal("fast path never engaged on any cell; identity checks were vacuous")
+	}
+}
+
+// TestFastPathEngages pins the non-vacuousness floor per family: on a
+// cache-friendly profile the steady state is hit-dominated, so the lane
+// must retire a substantial fraction of requests in closed form.
+func TestFastPathEngages(t *testing.T) {
+	prof, _ := trace.ByName("libquantum")
+	const n = 6000
+	for _, c := range []fastCase{
+		{"bonsai/agit-plus", FamilyBonsai, memctrl.SchemeAGITPlus},
+		{"sgx/writeback", FamilySGX, memctrl.SchemeWriteBack},
+	} {
+		ctrl, err := NewController(c.family, simConfig(c.scheme))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunFast(ctrl, trace.NewGenerator(prof, 99), n); err != nil {
+			t.Fatal(err)
+		}
+		fl := ctrl.(interface {
+			FastPathStats() (uint64, uint64)
+		})
+		batches, reqs := fl.FastPathStats()
+		if reqs < n/4 {
+			t.Fatalf("%s: fast path retired %d of %d requests, want at least %d", c.name, reqs, n, n/4)
+		}
+		if batches == 0 || batches > reqs {
+			t.Fatalf("%s: implausible batch count %d for %d fast requests", c.name, batches, reqs)
+		}
+	}
+}
+
+// thrashSource alternates, every single request, between a block whose
+// metadata line is pinned hot and a sweep over a footprint far larger
+// than the counter cache — so the guard flips eligible/ineligible at
+// the highest possible frequency. This is the adversarial profile for
+// the burst machinery: every batch is forced closed after at most one
+// request, and the exact-fallback boundary is crossed ~n times.
+func thrashTrace(n int) []trace.Request {
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		r := &reqs[i]
+		r.GapNS = uint64(10 + i%13)
+		if i%2 == 0 {
+			r.Op = trace.OpWrite
+			r.Block = 0 // hot: resident after first touch
+		} else {
+			// Cold sweep with a huge page stride: misses essentially every
+			// time in a small counter cache.
+			if i%4 == 1 {
+				r.Op = trace.OpWrite
+			} else {
+				r.Op = trace.OpRead
+			}
+			r.Block = uint64(64 + (i*4099)%100000)
+		}
+	}
+	return reqs
+}
+
+// TestFastPathFallbackThrash drives the alternating hit/miss profile
+// through every scheme × epoch window: guard enter/exit on every
+// request must stay byte-identical to the stepped engine, and the lane
+// must never batch across an ineligible boundary (each flushed batch
+// then holds at most a couple of requests — asserted via the
+// batches/requests telemetry on a cell known to engage).
+func TestFastPathFallbackThrash(t *testing.T) {
+	const n = 3000
+	reqs := thrashTrace(n)
+	for _, c := range fastCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, epoch := range []int{0, 4} {
+				cfg := simConfig(c.scheme)
+				cfg.EpochRequests = epoch
+				// Tiny metadata caches: the cold half of the trace misses.
+				cfg.CounterCacheBlocks = 64
+				cfg.CounterCacheWays = 4
+				cfg.MetaCacheBlocks = 64
+				cfg.MetaCacheWays = 4
+				ctrl, err := NewController(c.family, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Run(ctrl, &sliceSource{name: "thrash", reqs: reqs}, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctrl, err = NewController(c.family, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := RunFast(ctrl, &sliceSource{name: "thrash", reqs: reqs}, n)
+				if err != nil {
+					t.Fatalf("epoch=%d: %v", epoch, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("epoch=%d: thrash run diverged under fast path\n got: %+v\nwant: %+v", epoch, got, want)
+				}
+			}
+		})
+	}
+
+	// Boundary containment on an engaging cell: with eligibility flipping
+	// every request, no batch may span an ineligible request, so the
+	// average flushed batch stays tiny (a spanning batch would merge the
+	// hot-side runs into a few giant bursts).
+	cfg := simConfig(memctrl.SchemeWriteBack)
+	cfg.CounterCacheBlocks = 64
+	cfg.CounterCacheWays = 4
+	ctrl, err := NewController(FamilyBonsai, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFast(ctrl, &sliceSource{name: "thrash", reqs: reqs}, n); err != nil {
+		t.Fatal(err)
+	}
+	fl := ctrl.(interface {
+		FastPathStats() (uint64, uint64)
+	})
+	batches, fastReqs := fl.FastPathStats()
+	if fastReqs == 0 {
+		t.Fatal("thrash trace never engaged the fast path; containment check is vacuous")
+	}
+	if avg := float64(fastReqs) / float64(batches); avg > 4 {
+		t.Fatalf("average batch size %.1f across %d batches: bursts are spanning ineligible boundaries", avg, batches)
+	}
+}
+
+// TestFastPathLedgerSumExact is the drift safety net (DESIGN.md §11,
+// §14): under the fast path, the run ledger must still account for
+// every simulated nanosecond — Total() == ExecNS — across schemes,
+// families and epoch windows. A closed-form batch that drops or
+// double-books any component breaks this long before the DeepEqual
+// identity test localizes it.
+func TestFastPathLedgerSumExact(t *testing.T) {
+	prof, _ := trace.ByName("libquantum")
+	const n = 2500
+	for _, c := range fastCases() {
+		for _, epoch := range []int{0, 8} {
+			cfg := simConfig(c.scheme)
+			cfg.EpochRequests = epoch
+			ctrl, err := NewController(c.family, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunFast(ctrl, trace.NewGenerator(prof, 99), n)
+			if err != nil {
+				t.Fatalf("%s epoch=%d: %v", c.name, epoch, err)
+			}
+			if got := res.Stats.Attribution.Total(); got != res.ExecNS {
+				t.Fatalf("%s epoch=%d: fast-path ledger sums to %d, ExecNS is %d (%+v)",
+					c.name, epoch, got, res.ExecNS, res.Stats.Attribution.Map())
+			}
+		}
+	}
+}
+
+// TestFastPathShardedLedgerSumExact extends the sum-exact property to
+// the sharded decomposition under the fast path: per-owner ledgers must
+// still fold to the global ledger when bursts retire on the spine.
+func TestFastPathShardedLedgerSumExact(t *testing.T) {
+	prof, _ := trace.ByName("libquantum")
+	const n = 2500
+	for _, shards := range []int{1, 4} {
+		cfg := simConfig(memctrl.SchemeAGITPlus)
+		ctrl, err := NewController(FamilyBonsai, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, det, err := RunShardedDetailFast(ctrl, trace.NewGenerator(prof, 99), n, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var folded obs.Ledger
+		for s := range det.Ledgers {
+			folded.Merge(&det.Ledgers[s])
+		}
+		if folded.Total() != res.ExecNS {
+			t.Fatalf("shards=%d: folded per-shard ledgers sum to %d, ExecNS is %d", shards, folded.Total(), res.ExecNS)
+		}
+		if !reflect.DeepEqual(folded, res.Stats.Attribution) {
+			t.Fatalf("shards=%d: folded ledgers %+v differ from global ledger %+v", shards, folded.Map(), res.Stats.Attribution.Map())
+		}
+	}
+}
+
+// TestFastPathToggleMidstream exercises SetFastPath toggling between
+// runs of the same controller: lane on, off, on again — the combined
+// history must match an uninterrupted stepped history, proving the
+// enter/exit contract leaves no residue.
+func TestFastPathToggleMidstream(t *testing.T) {
+	prof, _ := trace.ByName("libquantum")
+	const chunk = 1500
+	cfg := simConfig(memctrl.SchemeOsiris)
+	mk := func() memctrl.Controller {
+		ctrl, err := NewController(FamilyBonsai, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl
+	}
+	ref, refGen := mk(), trace.NewGenerator(prof, 7)
+	tog, togGen := mk(), trace.NewGenerator(prof, 7)
+	var wantLast, gotLast Result
+	for leg, fast := range []bool{false, true, false, true} {
+		var err error
+		if wantLast, err = Run(ref, refGen, chunk); err != nil {
+			t.Fatal(err)
+		}
+		if fast {
+			gotLast, err = RunFast(tog, togGen, chunk)
+		} else {
+			gotLast, err = Run(tog, togGen, chunk)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotLast, wantLast) {
+			t.Fatalf("leg %d (fast=%v): toggled history diverged from stepped history", leg, fast)
+		}
+	}
+}

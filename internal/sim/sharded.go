@@ -65,18 +65,36 @@ type ShardDetail struct {
 // transparently fall back to the unsharded engine — same Result either
 // way.
 func RunSharded(ctrl memctrl.Controller, gen trace.Source, nReq, shards int, probe obs.Probe) (Result, error) {
-	res, _, err := RunShardedDetail(ctrl, gen, nReq, shards, probe)
+	res, _, err := runShardedDetail(ctrl, gen, nReq, shards, probe, false)
+	return res, err
+}
+
+// RunShardedFast is RunSharded with the hit-burst fast path enabled on
+// the spine (see RunFast). The decomposition and Result stay
+// byte-identical: fast retires charge attribution immediately, so the
+// per-owner Since() deltas are unchanged.
+func RunShardedFast(ctrl memctrl.Controller, gen trace.Source, nReq, shards int) (Result, error) {
+	res, _, err := runShardedDetail(ctrl, gen, nReq, shards, nil, true)
 	return res, err
 }
 
 // RunShardedDetail is RunSharded plus the per-shard decomposition.
 func RunShardedDetail(ctrl memctrl.Controller, gen trace.Source, nReq, shards int, probe obs.Probe) (Result, ShardDetail, error) {
+	return runShardedDetail(ctrl, gen, nReq, shards, probe, false)
+}
+
+// RunShardedDetailFast is RunShardedDetail with the fast path enabled.
+func RunShardedDetailFast(ctrl memctrl.Controller, gen trace.Source, nReq, shards int) (Result, ShardDetail, error) {
+	return runShardedDetail(ctrl, gen, nReq, shards, nil, true)
+}
+
+func runShardedDetail(ctrl memctrl.Controller, gen trace.Source, nReq, shards int, probe obs.Probe, fastpath bool) (Result, ShardDetail, error) {
 	if shards < 1 {
 		shards = 1
 	}
 	sc, ok := ctrl.(contentSharder)
 	if !ok || !sc.ContentShardable() {
-		res, err := RunObserved(ctrl, gen, nReq, probe)
+		res, err := runObserved(ctrl, gen, nReq, probe, fastpath)
 		return res, ShardDetail{}, err
 	}
 
@@ -88,6 +106,12 @@ func RunShardedDetail(ctrl memctrl.Controller, gen trace.Source, nReq, shards in
 			ps.SetProbe(probe)
 			defer ps.SetProbe(nil)
 		}
+	}
+	fl, useFast := ctrl.(fastLaner)
+	useFast = useFast && fastpath && probe == nil
+	if useFast {
+		fl.SetFastPath(true)
+		defer fl.SetFastPath(false)
 	}
 	att := ctrl.Device().Attr()
 
@@ -126,8 +150,12 @@ func RunShardedDetail(ctrl memctrl.Controller, gen trace.Source, nReq, shards in
 		}
 		sc.SetContentEntry(e)
 		if req.Op == trace.OpWrite {
-			if err := ctrl.WriteBlock(addr, e.Data); err != nil {
-				return res, det, fmt.Errorf("sim: request %d (write %d): %w", i, addr, err)
+			// Fast retires charge attribution immediately, so the per-owner
+			// Since() delta below stays exact either way.
+			if !(useFast && fl.TryFastWrite(addr, &e.Data)) {
+				if err := ctrl.WriteBlock(addr, e.Data); err != nil {
+					return res, det, fmt.Errorf("sim: request %d (write %d): %w", i, addr, err)
+				}
 			}
 			lat := ctrl.Now() - issue
 			res.WriteLat.Add(lat)
@@ -137,8 +165,10 @@ func RunShardedDetail(ctrl memctrl.Controller, gen trace.Source, nReq, shards in
 				probe.Request(obs.EvWriteReq, addr, issue, ctrl.Now(), delta)
 			}
 		} else {
-			if _, err := ctrl.ReadBlock(addr); err != nil {
-				return res, det, fmt.Errorf("sim: request %d (read %d): %w", i, addr, err)
+			if !(useFast && fl.TryFastRead(addr)) {
+				if _, err := ctrl.ReadBlock(addr); err != nil {
+					return res, det, fmt.Errorf("sim: request %d (read %d): %w", i, addr, err)
+				}
 			}
 			lat := ctrl.Now() - issue
 			res.ReadLat.Add(lat)
@@ -151,6 +181,11 @@ func RunShardedDetail(ctrl memctrl.Controller, gen trace.Source, nReq, shards in
 		sc.SetContentEntry(nil)
 		d := att.Since(&snap)
 		det.Ledgers[owner].Merge(&d)
+	}
+	// Any open burst folds in before the closing drain snapshot; flushed
+	// work is timeless, so it never perturbs the decomposition.
+	if useFast {
+		fl.FlushFastRun()
 	}
 	snap = *att
 	if f, ok := ctrl.(epochFlusher); ok {

@@ -18,13 +18,20 @@ import (
 // SourceAt, which is what makes a forked trial consume byte-identical
 // requests to a cold-started one.
 
+// PayloadBytes is the size of one write payload — the simulator's
+// block size (64-byte cache lines throughout the repo).
+const PayloadBytes = 64
+
 // Arena is an immutable, materialized request stream for one
 // (profile, seed) pair. Safe for concurrent use: nothing mutates it
-// after construction.
+// after construction (the payload table is built under a Once).
 type Arena struct {
 	profile Profile
 	seed    int64
 	reqs    []Request
+
+	payOnce sync.Once
+	pay     [][PayloadBytes]byte
 }
 
 // NewArena materializes the first n requests of the deterministic
@@ -46,6 +53,29 @@ func (a *Arena) Seed() int64 { return a.seed }
 // Requests exposes the materialized stream. Callers must treat the
 // slice as read-only; it is shared across every cursor and goroutine.
 func (a *Arena) Requests() []Request { return a.reqs }
+
+// Payloads returns the table of canonical write payloads for runs that
+// consume this arena from position zero: entry i holds
+// fill(·, reqs[i].Block, i) for write requests (read entries stay
+// zero). Payload content is a pure function of (block, position), so a
+// sweep's many cells replaying one stream share one generation instead
+// of regenerating per cell. Built once per arena; every caller must
+// pass the same canonical fill function (sim.FillBlock), which makes
+// the table a cache, never a source of divergent content. Callers must
+// treat the table as read-only — entries are shared across cells and
+// goroutines.
+func (a *Arena) Payloads(fill func(dst *[PayloadBytes]byte, block, n uint64)) [][PayloadBytes]byte {
+	a.payOnce.Do(func() {
+		pay := make([][PayloadBytes]byte, len(a.reqs))
+		for i := range a.reqs {
+			if a.reqs[i].Op == OpWrite {
+				fill(&pay[i], a.reqs[i].Block, uint64(i))
+			}
+		}
+		a.pay = pay
+	})
+	return a.pay
+}
 
 // Source returns a fresh cursor at the start of the stream.
 func (a *Arena) Source() *Cursor { return a.SourceAt(0) }
@@ -71,6 +101,14 @@ type Cursor struct {
 
 // Name identifies the workload.
 func (c *Cursor) Name() string { return c.a.profile.Name }
+
+// Payloads exposes the arena's shared payload table (see
+// Arena.Payloads). Only a consumer reading the cursor from position
+// zero may index the table by its own request counter; a mid-stream
+// cursor's per-run payload positions do not line up with the table.
+func (c *Cursor) Payloads(fill func(dst *[PayloadBytes]byte, block, n uint64)) [][PayloadBytes]byte {
+	return c.a.Payloads(fill)
+}
 
 // Pos returns the number of requests consumed so far.
 func (c *Cursor) Pos() int { return c.pos }

@@ -64,6 +64,10 @@ func main() {
 		"diff the epoch-pipeline records (epoch:1/4/16/64) of the two reports; simulated metrics are deterministic, so ANY drift at epoch:1 — against the legacy quick_seq:fig10 record or between the reports — fails (exit 1)")
 	shardSweep := flag.Bool("shard-sweep", false,
 		"diff the intra-trial shard records (shard:1/2/4/8); sharding is contractually metric-neutral, so ANY simulated-metric drift — shard:1 against the legacy quick_seq:fig10 anchor, shard:N against shard:1, or between the reports — fails (exit 1)")
+	fastpathSweep := flag.Bool("fastpath-sweep", false,
+		"diff the hit-burst fast-path records (fastpath:0/1); the lane is contractually metric-neutral, so ANY simulated-metric drift — fastpath:0 against the legacy quick_seq:fig10 anchor, fastpath:1 against fastpath:0, or between the reports — fails (exit 1)")
+	exactMetrics := flag.Bool("exact-metrics", false,
+		"require every metric shared by same-named figures in the two reports to be bit-identical (exit 1 on any drift); the consolidated form of the old text-diff determinism smokes (make bench-epoch/bench-shard/bench-fastpath)")
 	maxAttrRegress := flag.Float64("max-attr-regress", 0,
 		"fail (exit 1) if any stall component's simulated ns/request grows by more than this percent (0 = report only); simulated time is deterministic, so tight thresholds are safe")
 	minAttrNS := flag.Float64("min-attr-ns", 1.0,
@@ -127,6 +131,16 @@ func main() {
 	}
 	if *shardSweep {
 		if !compareShardSweep(oldRep, newRep) {
+			os.Exit(1)
+		}
+	}
+	if *fastpathSweep {
+		if !compareFastpathSweep(oldRep, newRep) {
+			os.Exit(1)
+		}
+	}
+	if *exactMetrics {
+		if !compareExactMetrics(oldRep, newRep) {
 			os.Exit(1)
 		}
 	}
@@ -328,6 +342,163 @@ func compareShardSweep(oldRep, newRep *report) bool {
 		}
 		if !exact("cross-report "+name, "old "+name, of, nf) {
 			ok = false
+		}
+	}
+	return ok
+}
+
+// compareFastpathSweep checks the hit-burst fast-path records of two
+// reports. The lane only changes host wall-clock — closed-form burst
+// retirement must be byte-identical to the stepped engine on every
+// simulated metric — so, mirroring the shard sweep, three exact gates
+// apply, any failure returning false:
+//
+//  1. anchor: fastpath:0 must reproduce the legacy quick_seq:fig10
+//     metrics bit for bit, within each report;
+//  2. neutrality: fastpath:1 must equal fastpath:0, within each report;
+//  3. stability: each fastpath:N record must match between the reports.
+//
+// Wall times are deliberately ignored — their ratio is the lane's
+// speedup (the fastpath_speedup record), not a contract.
+func compareFastpathSweep(oldRep, newRep *report) bool {
+	byName := func(r *report) map[string]figureTiming {
+		m := make(map[string]figureTiming, len(r.Figures))
+		for _, f := range r.Figures {
+			m[f.Name] = f
+		}
+		return m
+	}
+	oldBy, newBy := byName(oldRep), byName(newRep)
+
+	fmt.Printf("\n  hit-burst fast-path sweep (simulated metrics; exact comparison)\n")
+	ok := true
+
+	exact := func(label, wantName string, want, got figureTiming) bool {
+		clean := true
+		keys := make([]string, 0, len(got.Metrics))
+		for k := range got.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			wv, shared := want.Metrics[k]
+			if !shared {
+				continue
+			}
+			if gv := got.Metrics[k]; gv != wv {
+				fmt.Fprintf(os.Stderr, "bench_compare: %s: %s = %v, %s = %v (fast-path determinism violation)\n",
+					label, k, gv, wantName, wv)
+				clean = false
+			}
+		}
+		return clean
+	}
+
+	for _, side := range []struct {
+		label string
+		by    map[string]figureTiming
+	}{{"old", oldBy}, {"new", newBy}} {
+		off, hasOff := side.by["fastpath:0"]
+		if !hasOff {
+			continue
+		}
+		if legacy, hasLegacy := side.by["quick_seq:fig10"]; hasLegacy {
+			if !exact(side.label+" report: fastpath:0", "legacy quick_seq:fig10", legacy, off) {
+				ok = false
+			}
+		}
+		if on, hasOn := side.by["fastpath:1"]; hasOn {
+			if exact(side.label+" report: fastpath:1", "fastpath:0", off, on) {
+				fmt.Printf("  %-28s %s: identical to fastpath:0\n", "fastpath:1", side.label)
+			} else {
+				ok = false
+			}
+		}
+	}
+
+	for _, name := range []string{"fastpath:0", "fastpath:1"} {
+		of, oldHas := oldBy[name]
+		nf, newHas := newBy[name]
+		switch {
+		case !oldHas && !newHas:
+			continue
+		case !oldHas || !newHas:
+			fmt.Printf("  %-28s only in %s report\n", name, map[bool]string{true: "new", false: "old"}[newHas])
+			continue
+		}
+		if !exact("cross-report "+name, "old "+name, of, nf) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// compareExactMetrics requires every metric shared by same-named
+// figures to be bit-identical between the two reports, plus identical
+// per-component attribution ledgers when both reports carry them. This
+// is the consolidated replacement for the old text-diff smokes (cmp on
+// results/epoch*.txt / shard*.txt): the two reports come from the same
+// binary at two settings of a contractually metric-neutral knob, so
+// any drift at all is a determinism violation. Returns false on drift.
+func compareExactMetrics(oldRep, newRep *report) bool {
+	byName := make(map[string]figureTiming, len(oldRep.Figures))
+	for _, f := range oldRep.Figures {
+		byName[f.Name] = f
+	}
+	fmt.Printf("\n  exact-metric gate (every shared metric must be bit-identical)\n")
+	ok := true
+	for _, nf := range newRep.Figures {
+		of, has := byName[nf.Name]
+		if !has {
+			continue
+		}
+		keys := make([]string, 0, len(nf.Metrics))
+		for k := range nf.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		clean := true
+		for _, k := range keys {
+			ov, shared := of.Metrics[k]
+			if !shared {
+				continue
+			}
+			if nv := nf.Metrics[k]; nv != ov {
+				fmt.Fprintf(os.Stderr, "bench_compare: %s: %s = %v vs %v (exact-metric violation)\n",
+					nf.Name, k, ov, nv)
+				clean = false
+			}
+		}
+		if clean {
+			fmt.Printf("  %-28s identical\n", nf.Name)
+		} else {
+			ok = false
+		}
+	}
+	if len(oldRep.Attribution) > 0 && len(newRep.Attribution) > 0 {
+		if oldRep.RequestsSimulated != newRep.RequestsSimulated {
+			fmt.Fprintf(os.Stderr, "bench_compare: requests_simulated %d vs %d (exact-metric violation)\n",
+				oldRep.RequestsSimulated, newRep.RequestsSimulated)
+			ok = false
+		}
+		names := make(map[string]bool, len(oldRep.Attribution)+len(newRep.Attribution))
+		for n := range oldRep.Attribution {
+			names[n] = true
+		}
+		for n := range newRep.Attribution {
+			names[n] = true
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		for _, n := range sorted {
+			if oldRep.Attribution[n] != newRep.Attribution[n] {
+				fmt.Fprintf(os.Stderr, "bench_compare: attribution %s: %d vs %d ns (exact-metric violation)\n",
+					n, oldRep.Attribution[n], newRep.Attribution[n])
+				ok = false
+			}
 		}
 	}
 	return ok
