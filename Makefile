@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-smoke bench-device bench-epoch bench-shard bench-fastpath bench-json bench-tools fuzz-tools fuzz-smoke fuzz fmt clean
+.PHONY: all build vet test race verify bench bench-smoke bench-device bench-epoch bench-shard bench-fastpath bench-json bench-tools fuzz-tools fuzz-smoke fuzz serve-tools serve-smoke fmt clean
 
 all: verify
 
@@ -20,7 +20,7 @@ race:
 # passes both plainly (where the zero-alloc assertions run) and under
 # the race detector (where they are skipped). bench-tools/fuzz-tools
 # are build-only smokes for the tooling — no wall-clock gate.
-verify: build vet test race bench-tools fuzz-tools
+verify: build vet test race bench-tools fuzz-tools serve-tools
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -103,6 +103,20 @@ bench-tools:
 # Build-only smoke: the crash-injection fuzzer CLI keeps compiling.
 fuzz-tools:
 	$(GO) build -o /dev/null ./cmd/anubis-fuzz
+
+# Build-only smoke: the multi-tenant service and its kvstore client
+# keep compiling.
+serve-tools:
+	$(GO) build -o /dev/null ./cmd/anubis-serve
+	$(GO) build -o /dev/null ./examples/kvstore
+
+# End-to-end service smoke: a real anubis-serve process with 8
+# concurrent kvstore tenants, a mid-workload crash+recovery of one
+# tenant, quota/WPQ sheds answered with 429 and counted in /metrics,
+# and a graceful-shutdown → restart → audit-clean cycle (see
+# scripts/serve_smoke.sh).
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Short native-fuzz run: each crashfuzz target gets 10 s of coverage-
 # guided mutation on top of its seed corpus. Failures are shrunk by

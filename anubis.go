@@ -162,6 +162,10 @@ var ErrUnrecoverable = memctrl.ErrUnrecoverable
 // ErrNotRecoverable reports that the scheme has no recovery mechanism.
 var ErrNotRecoverable = memctrl.ErrNotRecoverable
 
+// ErrCrashed reports I/O issued between Crash and Recover. Match with
+// errors.Is to distinguish a mid-crash tenant from a real failure.
+var ErrCrashed = memctrl.ErrCrashed
+
 // IsIntegrityViolation reports whether an error came from a failed
 // integrity check (tampering, replay, or inconsistent crash state).
 func IsIntegrityViolation(err error) bool {
@@ -344,6 +348,48 @@ func (s *System) WriteRange(off uint64, data []byte) error {
 
 // Flush writes back all dirty metadata (orderly shutdown).
 func (s *System) Flush() { s.ctrl.FlushCaches() }
+
+// PushBudget reports how many block writes the Write Pending Queue can
+// absorb at the controller's current virtual clock without stalling:
+// the number of free WPQ slots. Zero means the next write would block
+// on a drain — the back-pressure signal a serving layer feeds into
+// admission control (shed with retry-after instead of queueing). It is
+// a pure probe: sampling it never perturbs the timing model. (Distinct
+// from the device-level SetPushBudget crash-test hook, which truncates
+// commit drains to simulate mid-commit power loss.)
+func (s *System) PushBudget() int {
+	d := s.ctrl.Device()
+	free := d.Timing().WPQEntries - d.WPQOccupancy(s.ctrl.Now())
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// WPQDrainNS reports how much virtual time must pass before the Write
+// Pending Queue is fully drained (0 when it is already empty). A caller
+// shedding on PushBudget()==0 pairs it with AdvanceClock to model the
+// client's back-off interval actually elapsing.
+func (s *System) WPQDrainNS() uint64 {
+	now := s.ctrl.Now()
+	if t := s.ctrl.Device().WPQDrainTime(); t > now {
+		return t - now
+	}
+	return 0
+}
+
+// AdvanceClock advances the controller's virtual clock by ns of CPU
+// think time: queued writes keep draining while the caller is away.
+// A long-running service uses it to map real-world idle gaps (request
+// spacing, back-off sleeps) into the simulated timeline.
+func (s *System) AdvanceClock(ns uint64) { s.ctrl.AdvanceTo(s.ctrl.Now() + ns) }
+
+// StateDigest returns a deterministic digest of the device's entire
+// persistent and staged state (NVM regions, sideband, registers,
+// journal, commit staging). Two systems with equal digests hold
+// byte-identical persistence domains — the equality oracle behind the
+// fork/crash isolation tests.
+func (s *System) StateDigest() uint64 { return s.ctrl.Device().StateDigest() }
 
 // Fork returns an independent copy-on-write clone of the system: the
 // NVM image is shared until either side writes to a page, and all

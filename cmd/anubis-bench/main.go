@@ -157,11 +157,13 @@ func main() {
 	watch := newCellWatch()
 	if *metricsAddr != "" {
 		tel := obs.NewTelemetry()
-		bound, err := obs.Serve(*metricsAddr, tel)
+		msrv, err := obs.Serve(*metricsAddr, tel)
 		if err != nil {
 			fail(err)
 		}
+		defer msrv.Close()
 		watch.tel = tel
+		bound := msrv.Addr()
 		fmt.Fprintf(out, "telemetry: http://%s/metrics (Prometheus), http://%s/vars (JSON)\n", bound, bound)
 	}
 	var tracer *obs.Tracer

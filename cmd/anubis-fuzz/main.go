@@ -55,12 +55,14 @@ func main() {
 	camp := newCampaign()
 	if *metricsAddr != "" {
 		tel := obs.NewTelemetry()
-		bound, err := obs.Serve(*metricsAddr, tel)
+		msrv, err := obs.Serve(*metricsAddr, tel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anubis-fuzz:", err)
 			os.Exit(2)
 		}
+		defer msrv.Close()
 		camp.tel = tel
+		bound := msrv.Addr()
 		fmt.Printf("telemetry: http://%s/metrics (Prometheus), http://%s/vars (JSON)\n", bound, bound)
 	}
 

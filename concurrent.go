@@ -1,6 +1,9 @@
 package anubis
 
-import "sync"
+import (
+	"io"
+	"sync"
+)
 
 // SafeSystem wraps a System with a mutex so multiple goroutines can
 // share one secure memory. The underlying controller models a single
@@ -122,4 +125,96 @@ func (s *SafeSystem) NumBlocks() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sys.NumBlocks()
+}
+
+// Scheme returns the configured scheme. (Immutable after construction,
+// but wrapped for method parity — see TestSafeSystemMethodParity.)
+func (s *SafeSystem) Scheme() Scheme {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Scheme()
+}
+
+// Size returns the protected capacity in bytes.
+func (s *SafeSystem) Size() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Size()
+}
+
+// PushBudget reports the free WPQ slots at the current virtual clock —
+// the admission-control back-pressure signal (see System.PushBudget).
+func (s *SafeSystem) PushBudget() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.PushBudget()
+}
+
+// WPQDrainNS reports the virtual time until the WPQ is fully drained.
+func (s *SafeSystem) WPQDrainNS() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.WPQDrainNS()
+}
+
+// AdvanceClock advances the virtual clock by ns of CPU think time.
+func (s *SafeSystem) AdvanceClock(ns uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.AdvanceClock(ns)
+}
+
+// StateDigest returns the deterministic device-state digest.
+func (s *SafeSystem) StateDigest() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.StateDigest()
+}
+
+// SaveImage serializes the NVM contents to w under the lock: the image
+// is a consistent point between concurrent operations.
+func (s *SafeSystem) SaveImage(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.SaveImage(w)
+}
+
+// CountersPerBlock returns how many data blocks one counter block
+// covers.
+func (s *SafeSystem) CountersPerBlock() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.CountersPerBlock()
+}
+
+// TamperData flips bits in the stored ciphertext of a data block (see
+// System.TamperData).
+func (s *SafeSystem) TamperData(block uint64, byteIdx int, mask byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.TamperData(block, byteIdx, mask)
+}
+
+// TamperCounter flips bits in a stored encryption counter block (see
+// System.TamperCounter).
+func (s *SafeSystem) TamperCounter(counterBlock uint64, byteIdx int, mask byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.TamperCounter(counterBlock, byteIdx, mask)
+}
+
+// ReplayCounter overwrites a counter block with an earlier snapshot
+// (see System.ReplayCounter).
+func (s *SafeSystem) ReplayCounter(counterBlock uint64, snapshot [BlockSize]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.ReplayCounter(counterBlock, snapshot)
+}
+
+// SnapshotCounter captures the current NVM image of a counter block
+// (see System.SnapshotCounter).
+func (s *SafeSystem) SnapshotCounter(counterBlock uint64) [BlockSize]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.SnapshotCounter(counterBlock)
 }

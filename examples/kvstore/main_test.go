@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"anubis"
+	"anubis/internal/serve"
+)
+
+func newKV(t *testing.T) *KV {
+	t.Helper()
+	mem, err := anubis.New(anubis.Config{Scheme: anubis.ASIT, MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return OpenKV(mem)
+}
+
+func TestPutGetDeleteRoundtrip(t *testing.T) {
+	kv := newKV(t)
+	if err := kv.Put([]byte("user:1"), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	val, err := kv.Get([]byte("user:1"))
+	if err != nil || string(val[:5]) != "hello" {
+		t.Fatalf("get: %v %q", err, val)
+	}
+	if err := kv.Delete([]byte("user:1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Get([]byte("user:1")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+}
+
+// TestOversizedKeyRejected is the regression test for the silent
+// truncation bug: record() used to copy only the first 20 key bytes
+// while storing byte(len(key)) — so a 276-byte key (276 % 256 == 20)
+// produced a record byte-identical to a legitimate 20-byte key's, and
+// the two keys aliased.
+func TestOversizedKeyRejected(t *testing.T) {
+	kv := newKV(t)
+	short := bytes.Repeat([]byte("k"), keyBytes) // exactly 20 bytes: legal
+	long := bytes.Repeat([]byte("k"), 276)       // wraps to keyLen 20, same prefix
+
+	if err := kv.Put(short, []byte("legit")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put(long, []byte("evil")); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("276-byte key: %v, want ErrTooLarge", err)
+	}
+	if _, err := kv.Get(long); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("get 276-byte key: %v, want ErrTooLarge", err)
+	}
+	if err := kv.Delete(long); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("delete 276-byte key: %v, want ErrTooLarge", err)
+	}
+	// The legitimate record is untouched — no aliasing.
+	val, err := kv.Get(short)
+	if err != nil || string(val[:5]) != "legit" {
+		t.Fatalf("20-byte key after rejected alias: %v %q", err, val)
+	}
+	// 21 bytes is over the line too, not just the wrap-around case.
+	if err := kv.Put(bytes.Repeat([]byte("k"), keyBytes+1), []byte("x")); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("21-byte key: %v, want ErrTooLarge", err)
+	}
+	if err := kv.Put([]byte(""), []byte("x")); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("empty key: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	kv := newKV(t)
+	if err := kv.Put([]byte("k"), bytes.Repeat([]byte("v"), valueBytes+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("33-byte value: %v, want ErrTooLarge", err)
+	}
+	if err := kv.Put([]byte("k"), bytes.Repeat([]byte("v"), valueBytes)); err != nil {
+		t.Fatalf("32-byte value: %v", err)
+	}
+}
+
+func TestRecordGuardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("record() accepted an oversized key")
+		}
+	}()
+	record(stateLive, bytes.Repeat([]byte("k"), 276), nil, 1)
+}
+
+func TestWorkloadSurvivesCrash(t *testing.T) {
+	mem, err := anubis.New(anubis.Config{Scheme: anubis.ASIT, MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := OpenKV(mem)
+	const n = 400
+	if err := runWorkload(kv, n); err != nil {
+		t.Fatal(err)
+	}
+	mem.Crash()
+	if _, err := mem.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	checked, err := verifyWorkload(OpenKV(mem), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("nothing verified")
+	}
+}
+
+// TestHTTPMemEndToEnd runs the store's HTTP mode against a real
+// in-process serve.Server: workload, API-triggered crash, recovery,
+// verification, audit — the smoke-test path without the binaries.
+func TestHTTPMemEndToEnd(t *testing.T) {
+	s := serve.New(serve.Config{})
+	defer s.Shutdown("")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := openHTTPMem(u.Host, "e2e", "agit-plus", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumBlocks() != (1<<20)/64 {
+		t.Fatalf("NumBlocks = %d", m.NumBlocks())
+	}
+	kv := OpenKV(m)
+	const n = 300
+	if err := runWorkload(kv, n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.post("crash"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.post("recover"); err != nil {
+		t.Fatal(err)
+	}
+	checked, err := verifyWorkload(OpenKV(m), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("nothing verified over HTTP")
+	}
+	audit, err := m.post("audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(audit, `"ok":true`) {
+		t.Fatalf("audit = %s", audit)
+	}
+	// Reattach to the existing tenant (409 path) keeps working.
+	m2, err := openHTTPMem(u.Host, "e2e", "agit-plus", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifyWorkload(OpenKV(m2), n); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("e2e complete: %d records verified, %d+%d sheds absorbed", checked, m.sheds, m2.sheds)
+}

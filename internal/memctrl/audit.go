@@ -107,7 +107,7 @@ func OpenSGX(cfg Config, dev *nvm.Device) (*SGX, error) {
 // violation it finds (capped).
 func (b *Bonsai) AuditNVM() (*AuditReport, error) {
 	if b.crashed {
-		return nil, fmt.Errorf("memctrl: audit requires a recovered controller")
+		return nil, fmt.Errorf("memctrl: audit requires a recovered controller: %w", ErrCrashed)
 	}
 	b.FlushCaches()
 	rep := &AuditReport{}
@@ -164,7 +164,7 @@ func (b *Bonsai) AuditNVM() (*AuditReport, error) {
 // under its leaf counter.
 func (c *SGX) AuditNVM() (*AuditReport, error) {
 	if c.crashed {
-		return nil, fmt.Errorf("memctrl: audit requires a recovered controller")
+		return nil, fmt.Errorf("memctrl: audit requires a recovered controller: %w", ErrCrashed)
 	}
 	c.FlushCaches()
 	rep := &AuditReport{}

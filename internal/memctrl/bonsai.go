@@ -375,7 +375,7 @@ func (b *Bonsai) shadowTreeSlot(slot int, flat uint64) {
 
 func (b *Bonsai) checkAddr(idx uint64) error {
 	if b.crashed {
-		return fmt.Errorf("memctrl: controller is crashed; call Recover first")
+		return ErrCrashed
 	}
 	if idx >= b.numBlocks {
 		return fmt.Errorf("memctrl: block %d out of range (%d blocks)", idx, b.numBlocks)

@@ -261,6 +261,12 @@ var ErrUnrecoverable = errors.New("memctrl: system unrecoverable")
 // recovery mechanism at all (write-back baselines, Osiris on SGX trees).
 var ErrNotRecoverable = errors.New("memctrl: scheme does not support recovery")
 
+// ErrCrashed is returned (possibly wrapped) by every I/O or audit call
+// issued against a crashed controller before Recover has run. A serving
+// layer matches it with errors.Is to distinguish "tenant is mid-crash,
+// retry after recovery" from real failures.
+var ErrCrashed = errors.New("memctrl: controller is crashed; call Recover first")
+
 // RunStats aggregates a controller's run-time activity.
 type RunStats struct {
 	ReadRequests  uint64 `json:"read_requests"`

@@ -486,7 +486,7 @@ func (c *SGX) shadowMeta(r metaRef, line *cache.Line, g *counter.SGX) error {
 
 func (c *SGX) checkAddr(idx uint64) error {
 	if c.crashed {
-		return fmt.Errorf("memctrl: controller is crashed; call Recover first")
+		return ErrCrashed
 	}
 	if idx >= c.numBlocks {
 		return fmt.Errorf("memctrl: block %d out of range (%d blocks)", idx, c.numBlocks)

@@ -692,6 +692,16 @@ func (d *Device) SetPushBudget(n int) { d.pushBudget = n }
 // resets it.
 func (d *Device) PushBudget() int { return d.pushBudget }
 
+// WPQOccupancy reports how many writes would still hold WPQ slots at
+// time now. Unlike the internal prune, it does not mutate the queue:
+// a serving layer can sample back-pressure between requests without
+// changing what the next Push observes.
+func (d *Device) WPQOccupancy(now uint64) int { return d.wpq.occupancyAt(now) }
+
+// WPQDrainTime returns the completion time of the last write still in
+// the WPQ (0 when empty): the instant the queue is fully drained.
+func (d *Device) WPQDrainTime() uint64 { return d.wpq.latest() }
+
 // --- persistent register file ---------------------------------------------
 
 // SetReg durably stores a named on-chip register value (≤ 64 bytes).

@@ -78,6 +78,28 @@ func (q *wpqRing) prune(now uint64) {
 	}
 }
 
+// occupancyAt counts entries whose completion time is after now — the
+// writes that would still hold WPQ slots at that instant. Non-mutating
+// (prune is the mutating form), so admission-control probes can sample
+// occupancy without perturbing the timing model.
+func (q *wpqRing) occupancyAt(now uint64) int {
+	for i := 0; i < q.size; i++ {
+		if q.buf[q.pos(i)] > now {
+			return q.size - i
+		}
+	}
+	return 0
+}
+
+// latest returns the completion time of the last queued write (0 when
+// the ring is empty).
+func (q *wpqRing) latest() uint64 {
+	if q.size == 0 {
+		return 0
+	}
+	return q.buf[q.pos(q.size-1)]
+}
+
 // reset empties the ring (power cycle).
 func (q *wpqRing) reset() {
 	q.head, q.size = 0, 0

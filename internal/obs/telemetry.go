@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -107,16 +108,56 @@ func (t *Telemetry) serveVars(w http.ResponseWriter) {
 	fmt.Fprintln(w, "}")
 }
 
+// Server is a handle to a running telemetry HTTP server: the bound
+// address plus a way to shut it down. Earlier revisions leaked the
+// listener and serving goroutine until process exit; every caller now
+// owns a handle and closes it when the campaign ends, so the port is
+// released (and tests can re-bind it immediately).
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	addr string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Close shuts the server down gracefully, waiting (up to a short
+// deadline) for in-flight scrapes to finish before releasing the port.
+// Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		err = s.srv.Close()
+	}
+	// Shutdown only closes listeners the serve goroutine has already
+	// registered; close ours directly so the port is guaranteed free the
+	// moment Close returns, however the startup/shutdown race fell.
+	_ = s.ln.Close()
+	return err
+}
+
 // Serve starts the telemetry HTTP server on addr (e.g. ":9090" or
-// "127.0.0.1:0") in a background goroutine and returns the bound
-// address. The listener lives until the process exits — these are
-// CLI-lifetime diagnostics, not a managed service.
-func Serve(addr string, t *Telemetry) (string, error) {
+// "127.0.0.1:0") in a background goroutine and returns a handle with
+// the bound address. The caller must Close the handle on exit —
+// otherwise the goroutine and port live until the process dies.
+func Serve(addr string, t *Telemetry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: metrics listener: %w", err)
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
 	srv := &http.Server{Handler: t, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	return &Server{srv: srv, ln: ln, addr: ln.Addr().String()}, nil
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -97,11 +98,12 @@ func TestTelemetryIndexAnd404(t *testing.T) {
 func TestServeBindsEphemeralPort(t *testing.T) {
 	tel := NewTelemetry()
 	tel.Update(func(r *Registry) { r.Counter("x_total", 1) })
-	addr, err := Serve("127.0.0.1:0", tel)
+	srv, err := Serve("127.0.0.1:0", tel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Get("http://" + addr + "/metrics")
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,5 +111,33 @@ func TestServeBindsEphemeralPort(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != 200 || !strings.Contains(string(body), "x_total 1") {
 		t.Fatalf("live serve: %d\n%s", resp.StatusCode, body)
+	}
+}
+
+// TestServeCloseReleasesPort is the regression for the original leak:
+// Serve handed back only the bound address, so the listener and its
+// goroutine lived until process exit and the port could never be
+// re-bound. Closing the handle must release the port immediately.
+func TestServeCloseReleasesPort(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewTelemetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The exact address must be re-bindable now that the server is down.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port %s not released after Close: %v", addr, err)
+	}
+	ln.Close()
+	// And scrapes must fail — the old server is really gone.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("scrape succeeded after Close")
 	}
 }

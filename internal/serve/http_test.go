@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// httpClient wraps an httptest server with small helpers so the tests
+// read like the API they exercise.
+type httpClient struct {
+	t    *testing.T
+	base string
+	c    *http.Client
+}
+
+func newHTTPClient(t *testing.T, s *Server) *httpClient {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &httpClient{t: t, base: ts.URL, c: ts.Client()}
+}
+
+// req issues method path with body and returns (status, response body,
+// headers).
+func (h *httpClient) req(method, path string, body []byte) (int, []byte, http.Header) {
+	h.t.Helper()
+	r, err := http.NewRequest(method, h.base+path, bytes.NewReader(body))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := h.c.Do(r)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+func (h *httpClient) want(status int, method, path string, body []byte) []byte {
+	h.t.Helper()
+	got, out, _ := h.req(method, path, body)
+	if got != status {
+		h.t.Fatalf("%s %s = %d, want %d (body %s)", method, path, got, status, out)
+	}
+	return out
+}
+
+func TestHTTPLifecycleAndDataPath(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := newHTTPClient(t, s)
+
+	h.want(http.StatusOK, "GET", "/healthz", nil)
+
+	// Create, with config; read info back.
+	out := h.want(http.StatusCreated, "PUT", "/t/alice",
+		[]byte(`{"scheme":"asit","memory_bytes":1048576}`))
+	var info Info
+	if err := json.Unmarshal(out, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Scheme != "asit" || info.Blocks != (1<<20)/64 {
+		t.Fatalf("created info: %+v", info)
+	}
+
+	// Block write/read roundtrip (binary bodies).
+	h.want(http.StatusOK, "PUT", "/t/alice/block/5", []byte("over http"))
+	got := h.want(http.StatusOK, "GET", "/t/alice/block/5", nil)
+	if string(got[:9]) != "over http" {
+		t.Fatalf("block readback %q", got[:9])
+	}
+
+	// Batched writes + range read across the batch.
+	batch := fmt.Sprintf(`{"writes":[{"block":10,"data":%q},{"block":11,"data":%q}]}`,
+		base64.StdEncoding.EncodeToString(bytes.Repeat([]byte{0xAB}, 64)),
+		base64.StdEncoding.EncodeToString(bytes.Repeat([]byte{0xCD}, 64)))
+	h.want(http.StatusOK, "POST", "/t/alice/blocks", []byte(batch))
+	rng := h.want(http.StatusOK, "GET", "/t/alice/range?off=640&n=128", nil)
+	if len(rng) != 128 || rng[0] != 0xAB || rng[127] != 0xCD {
+		t.Fatalf("range readback len=%d first=%#x last=%#x", len(rng), rng[0], rng[127])
+	}
+
+	// Range write.
+	h.want(http.StatusOK, "PUT", "/t/alice/range?off=100", []byte("spanning"))
+	rng = h.want(http.StatusOK, "GET", "/t/alice/range?off=100&n=8", nil)
+	if string(rng) != "spanning" {
+		t.Fatalf("range write readback %q", rng)
+	}
+
+	// Fork shows up in /tenants; flush, stats, digest, audit answer.
+	h.want(http.StatusCreated, "POST", "/t/alice/fork?child=bob", nil)
+	out = h.want(http.StatusOK, "GET", "/tenants", nil)
+	if string(bytes.TrimSpace(out)) != `["alice","bob"]` {
+		t.Fatalf("tenants = %s", out)
+	}
+	h.want(http.StatusOK, "POST", "/t/alice/flush", nil)
+	h.want(http.StatusOK, "GET", "/t/alice/stats", nil)
+	h.want(http.StatusOK, "GET", "/t/alice/digest", nil)
+	out = h.want(http.StatusOK, "POST", "/t/alice/audit", nil)
+	if !strings.Contains(string(out), `"ok":true`) {
+		t.Fatalf("audit = %s", out)
+	}
+
+	// Close; the tenant is gone.
+	h.want(http.StatusOK, "DELETE", "/t/bob", nil)
+	h.want(http.StatusNotFound, "GET", "/t/bob", nil)
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	s := newTestServer(t, Config{MaxTenants: 1})
+	h := newHTTPClient(t, s)
+	h.want(http.StatusCreated, "PUT", "/t/only", nil)
+
+	// 404: unknown tenant, every verb.
+	h.want(http.StatusNotFound, "GET", "/t/ghost/block/0", nil)
+	h.want(http.StatusNotFound, "POST", "/t/ghost/recover", nil)
+	h.want(http.StatusNotFound, "DELETE", "/t/ghost", nil)
+
+	// 400: invalid id, bad config, oversized block, bad queries.
+	h.want(http.StatusBadRequest, "PUT", "/t/bad%20id", nil)
+	h.want(http.StatusBadRequest, "PUT", "/t/cfg", []byte(`{"scheme":"nope"}`))
+	h.want(http.StatusBadRequest, "PUT", "/t/cfg", []byte(`{"memory_bytes":4097}`))
+	h.want(http.StatusBadRequest, "PUT", "/t/only/block/0", bytes.Repeat([]byte{1}, 65))
+	h.want(http.StatusBadRequest, "GET", "/t/only/range?off=x&n=1", nil)
+
+	// 409: duplicate create.
+	h.want(http.StatusConflict, "PUT", "/t/only", nil)
+
+	// 429 + Retry-After: tenant quota.
+	_, body, hdr := h.req("PUT", "/t/second", nil)
+	if ra := hdr.Get("Retry-After"); ra == "" {
+		t.Fatalf("429 without Retry-After (body %s)", body)
+	}
+	if !strings.Contains(string(body), `"reason":"tenant_quota"`) {
+		t.Fatalf("shed body = %s", body)
+	}
+
+	// 409 while crashed (with the recover hint), then recovery restores
+	// service and the data.
+	h.want(http.StatusOK, "PUT", "/t/only/block/3", []byte("survives"))
+	h.want(http.StatusOK, "POST", "/t/only/crash", nil)
+	_, body, _ = h.req("GET", "/t/only/block/3", nil)
+	if !strings.Contains(string(body), "recover") {
+		t.Fatalf("crashed read body = %s", body)
+	}
+	h.want(http.StatusConflict, "GET", "/t/only/block/3", nil)
+	h.want(http.StatusOK, "POST", "/t/only/recover", nil)
+	got := h.want(http.StatusOK, "GET", "/t/only/block/3", nil)
+	if string(got[:8]) != "survives" {
+		t.Fatalf("post-recovery block = %q", got[:8])
+	}
+}
+
+func TestHTTPWPQShedMapsTo429(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := newHTTPClient(t, s)
+	h.want(http.StatusCreated, "PUT", "/t/w", []byte(`{"scheme":"strict","memory_bytes":1048576}`))
+	var saw429 bool
+	for i := 0; i < 512 && !saw429; i++ {
+		code, body, hdr := h.req("PUT", fmt.Sprintf("/t/w/block/%d", i%128), []byte{byte(i)})
+		switch code {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			saw429 = true
+			if hdr.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After header")
+			}
+			if !strings.Contains(string(body), `"reason":"wpq"`) {
+				t.Fatalf("shed body = %s", body)
+			}
+		default:
+			t.Fatalf("write %d: status %d (%s)", i, code, body)
+		}
+	}
+	if !saw429 {
+		t.Fatal("write burst over HTTP never returned 429")
+	}
+}
