@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-smoke bench-device bench-epoch bench-shard bench-fastpath bench-json bench-tools fuzz-tools fuzz-smoke fuzz serve-tools serve-smoke fmt clean
+.PHONY: all build vet test race verify bench bench-smoke bench-device bench-epoch bench-shard bench-fastpath bench-json bench-tools fuzz-tools fuzz-smoke fuzz serve-tools serve-smoke dash-smoke fmt clean
 
 all: verify
 
@@ -20,7 +20,7 @@ race:
 # passes both plainly (where the zero-alloc assertions run) and under
 # the race detector (where they are skipped). bench-tools/fuzz-tools
 # are build-only smokes for the tooling — no wall-clock gate.
-verify: build vet test race bench-tools fuzz-tools serve-tools
+verify: build vet test race bench-tools fuzz-tools serve-tools dash-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -31,11 +31,14 @@ bench-device:
 	$(GO) test -run xxx -bench 'BenchmarkDevice' -benchmem ./internal/nvm/
 
 # Reduced parallel sweep: a quick end-to-end run of the evaluation
-# harness that exercises the worker pool and the JSON reporter.
+# harness that exercises the worker pool and the JSON reporter. The
+# report lands on the gitignored smoke path — never in the checked-in
+# results/BENCH_<n>.json record set (which only `make bench-json`
+# regenerates, deliberately).
 bench-smoke:
 	mkdir -p results
 	$(GO) run ./cmd/anubis-bench -fig10 -fig11 -n 2000 \
-		-apps mcf,lbm,libquantum -parallel 4 -json results/
+		-apps mcf,lbm,libquantum -parallel 4 -json results/smoke.json
 
 # Determinism smokes share one shape: run the reduced fig10 sweep at
 # two settings of a contractually metric-neutral knob, write both JSON
@@ -86,12 +89,12 @@ bench-fastpath:
 # PR-tracking benchmark record: the fixed suite matrix (quick + full
 # scale, sequential + parallel, epoch-pipeline sweep, intra-trial
 # shard sweep, hit-burst fast-path sweep, forked-vs-cold recovery
-# sweep) written to results/BENCH_8.json. Compare against the previous
-# PR's record:
-#   go run ./scripts/bench_compare -epoch-sweep -shard-sweep -fastpath-sweep results/BENCH_7.json results/BENCH_8.json
+# sweep with per-phase attribution) written to results/BENCH_9.json.
+# Compare against the previous PR's record:
+#   go run ./scripts/bench_compare -epoch-sweep -shard-sweep -fastpath-sweep -max-recovery-phase-regress 0.1 results/BENCH_8.json results/BENCH_9.json
 bench-json:
 	mkdir -p results
-	$(GO) run ./cmd/anubis-bench -suite -trials 50 -json results/BENCH_8.json
+	$(GO) run ./cmd/anubis-bench -suite -trials 50 -json results/BENCH_9.json
 
 # Build-only smoke: the suite driver and the comparison tool keep
 # compiling. Deliberately runs no benchmarks (wall-clock is too noisy
@@ -117,6 +120,15 @@ serve-tools:
 # scripts/serve_smoke.sh).
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Headless dashboard + flight-recorder smoke: the embedded /dash page
+# serves with every section marker, /debug/dash.json stays parseable,
+# /debug/events emits valid JSON lines, and the serve plane records the
+# full request/crash/recover event life cycle. Pure `go test` — no
+# browser, no server process — so it is cheap enough for tier-1.
+dash-smoke:
+	$(GO) test -count=1 -run 'TestDash' ./internal/obs/
+	$(GO) test -count=1 -run 'TestFlightRecorder|TestServeWithoutRecorder' ./internal/serve/
 
 # Short native-fuzz run: each crashfuzz target gets 10 s of coverage-
 # guided mutation on top of its seed corpus. Failures are shrunk by

@@ -32,6 +32,7 @@ import (
 
 	"anubis/internal/memctrl"
 	"anubis/internal/nvm"
+	"anubis/internal/obs"
 	"anubis/internal/recmodel"
 )
 
@@ -420,6 +421,22 @@ type RecoveryReport struct {
 	EntriesScanned uint64
 	// ModeledNS prices the recovery at the paper's 100 ns/op.
 	ModeledNS uint64
+	// Phases decomposes ModeledNS into named recovery phases
+	// ("counter_osiris_scan", "merkle_rebuild", ...; DESIGN.md §16).
+	// The values always sum exactly to ModeledNS.
+	Phases map[string]uint64
+}
+
+// RecoveryPhases returns the canonical recovery-phase names in display
+// order — the key order tools should use when rendering
+// RecoveryReport.Phases as a table.
+func RecoveryPhases() []string {
+	ps := obs.RecPhases()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.String()
+	}
+	return names
 }
 
 // Recover runs the scheme's recovery algorithm after a Crash.
@@ -434,6 +451,7 @@ func (s *System) Recover() (RecoveryReport, error) {
 			NodesRebuilt:   rep.NodesRebuilt,
 			EntriesScanned: rep.EntriesScanned,
 			ModeledNS:      rep.ModeledNS(),
+			Phases:         rep.Phases.Map(),
 		}
 	}
 	return out, err

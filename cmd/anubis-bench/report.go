@@ -23,7 +23,11 @@ import (
 //	2 — adds schema_version, build info (vcs_revision, vcs_modified),
 //	    aggregate per-component stall attribution (attribution_ns,
 //	    requests_simulated), and JSON tags across sim/memctrl records.
-const SchemaVersion = 2
+//	3 — adds aggregate recovery-phase attribution (recovery_phase_ns,
+//	    recovery_trials; phase values sum exactly to the trials' modeled
+//	    recovery time) and per-phase phase_ns_<name> metrics on the
+//	    recovery-sweep figure entries.
+const SchemaVersion = 3
 
 // FigureTiming is one evaluated artifact's entry in the JSON benchmark
 // report: wall time, how many simulation cells it fanned out, and its
@@ -72,6 +76,25 @@ type Report struct {
 	Attribution        *obs.Ledger `json:"attribution_ns,omitempty"`
 	RequestsSimulated  uint64      `json:"requests_simulated,omitempty"`
 	CellsWithAttribute uint64      `json:"attribution_cells,omitempty"`
+
+	// RecoveryPhases is the per-phase recovery-time ledger merged over
+	// the run's recovery-sweep trials (forked sweep only — the cold
+	// sweep replays identical trials and would double-count). Each
+	// trial's ledger sums exactly to its modeled recovery time, so the
+	// aggregate total equals the sum of modeled recovery times across
+	// RecoveryTrials trials; bench_compare gates on per-phase drift.
+	RecoveryPhases *obs.RecLedger `json:"recovery_phase_ns,omitempty"`
+	RecoveryTrials uint64         `json:"recovery_trials,omitempty"`
+}
+
+// addRecoveryPhases folds one sweep's merged phase ledger into the
+// report aggregate.
+func (r *Report) addRecoveryPhases(l *obs.RecLedger, trials int) {
+	if r.RecoveryPhases == nil {
+		r.RecoveryPhases = &obs.RecLedger{}
+	}
+	r.RecoveryPhases.Merge(l)
+	r.RecoveryTrials += uint64(trials)
 }
 
 // newReport seeds a report with the run's environment.

@@ -289,10 +289,20 @@ func runSuite(rep *Report, out io.Writer, seed int64, trials int, hooks func(*fi
 			return nil, err
 		}
 		_, mean, _ := res.ModeledRecoveryNS()
-		return map[string]float64{
+		m := map[string]float64{
 			"trials":           float64(len(res.Trials)),
 			"mean_recovery_ns": float64(mean),
-		}, nil
+		}
+		// Per-phase breakdown (sum-exact across the sweep) as figure
+		// metrics, and — forked sweep only, cold replays the identical
+		// trials — the report-level aggregate bench_compare gates on.
+		for name, ns := range res.PhaseTotals.Map() {
+			m["phase_ns_"+name] = float64(ns)
+		}
+		if !cold {
+			rep.addRecoveryPhases(&res.PhaseTotals, len(res.Trials))
+		}
+		return m, nil
 	}
 	if err := rep.record("recovery_forked", 1, func() (map[string]float64, error) { return sweep(false) }); err != nil {
 		return err

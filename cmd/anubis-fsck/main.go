@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,8 @@ func main() {
 		scheme  = flag.String("scheme", "agit-plus", "agit-plus | agit-read | asit | strict | osiris | selective")
 		mem     = flag.Uint64("mem", 8<<20, "memory size in bytes")
 		writes  = flag.Int("w", 2000, "writes when creating a demo image")
+		verbose = flag.Bool("v", false, "print the per-phase recovery-time breakdown after reattach")
+		jsonOut = flag.Bool("json", false, "emit the verdict as one JSON object instead of text")
 	)
 	flag.Parse()
 
@@ -71,16 +74,38 @@ func main() {
 	if err != nil {
 		// A recovery failure IS a verdict: the image cannot be brought
 		// to a verified state (tampering or unrecoverable crash state).
-		fmt.Printf("image is CORRUPT: recovery failed: %v\n", err)
+		if *jsonOut {
+			emitJSON(fsckVerdict{Verdict: "corrupt", RecoveryError: err.Error()})
+		} else {
+			fmt.Printf("image is CORRUPT: recovery failed: %v\n", err)
+		}
 		os.Exit(1)
 	}
-	fmt.Printf("recovered: %d entries scanned, %d counters fixed, %d nodes rebuilt (%s modeled)\n",
-		rec.EntriesScanned, rec.CountersFixed, rec.NodesRebuilt, anubis.FormatDuration(rec.ModeledNS))
+	if !*jsonOut {
+		fmt.Printf("recovered: %d entries scanned, %d counters fixed, %d nodes rebuilt (%s modeled)\n",
+			rec.EntriesScanned, rec.CountersFixed, rec.NodesRebuilt, anubis.FormatDuration(rec.ModeledNS))
+		if *verbose {
+			printPhases(rec)
+		}
+	}
 
 	rep, err := sys.Audit()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anubis-fsck:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		v := fsckVerdict{
+			Verdict: "clean", Recovery: &rec, Audit: &rep,
+		}
+		if !rep.OK() {
+			v.Verdict = "corrupt"
+		}
+		emitJSON(v)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("audited: %d data blocks, %d counter blocks, %d tree nodes\n",
 		rep.DataBlocks, rep.CounterBlocks, rep.TreeNodes)
@@ -93,6 +118,36 @@ func main() {
 		fmt.Println("  -", v)
 	}
 	os.Exit(1)
+}
+
+// fsckVerdict is the -json output shape.
+type fsckVerdict struct {
+	Verdict       string                 `json:"verdict"` // clean | corrupt
+	RecoveryError string                 `json:"recovery_error,omitempty"`
+	Recovery      *anubis.RecoveryReport `json:"recovery,omitempty"`
+	Audit         *anubis.AuditReport    `json:"audit,omitempty"`
+}
+
+func emitJSON(v fsckVerdict) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// printPhases renders the reattach recovery's non-zero phases; the
+// values sum exactly to the modeled recovery time (DESIGN.md §16).
+func printPhases(rec anubis.RecoveryReport) {
+	if rec.ModeledNS == 0 {
+		return
+	}
+	for _, name := range anubis.RecoveryPhases() {
+		v := rec.Phases[name]
+		if v == 0 {
+			continue
+		}
+		fmt.Printf("  %-22s %12s  %5.1f%%\n",
+			name, anubis.FormatDuration(v), 100*float64(v)/float64(rec.ModeledNS))
+	}
 }
 
 func createImage(cfg anubis.Config, path, corrupt string, writes int) error {

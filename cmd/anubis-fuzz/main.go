@@ -157,12 +157,12 @@ func newCampaign() *campaign {
 // trial records one completed trial (v == nil means it passed).
 func (c *campaign) trial(s crashfuzz.Schedule, wall time.Duration, v *crashfuzz.Violation) {
 	rec := func(r *obs.Registry) {
-		class := fmt.Sprintf(`{policy=%q,model=%q}`, crashfuzz.PolicyOf(s.Combo), s.Model)
-		r.Counter("anubis_fuzz_trials_total"+class, 1)
+		policy, model := string(crashfuzz.PolicyOf(s.Combo)), s.Model.String()
+		r.Counter(obs.Label("anubis_fuzz_trials_total", "policy", policy, "model", model), 1)
 		r.Observe("anubis_fuzz_trial_wall_us", uint64(wall.Microseconds()))
 		if v != nil {
-			r.Counter(fmt.Sprintf(`anubis_fuzz_violations_total{phase=%q,policy=%q,model=%q}`,
-				v.Phase, crashfuzz.PolicyOf(s.Combo), s.Model), 1)
+			r.Counter(obs.Label("anubis_fuzz_violations_total",
+				"phase", string(v.Phase), "policy", policy, "model", model), 1)
 		}
 	}
 	rec(c.reg)

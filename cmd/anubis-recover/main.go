@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"anubis/internal/memctrl"
+	"anubis/internal/obs"
 	"anubis/internal/recmodel"
 	"anubis/internal/sim"
 )
@@ -26,6 +28,8 @@ func main() {
 		schemeName = flag.String("scheme", "", "restrict to one scheme (strict, osiris, agit-read, agit-plus, asit)")
 		writes     = flag.Int("w", 2000, "writes before the crash")
 		mem        = flag.Uint64("mem", 32<<20, "memory size in bytes")
+		verbose    = flag.Bool("v", false, "print the per-phase recovery-time breakdown under each scheme")
+		jsonOut    = flag.Bool("json", false, "emit one JSON object per scheme instead of the table")
 	)
 	flag.Parse()
 
@@ -56,10 +60,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("%-12s %-12s %10s %10s %10s %12s  %s\n",
-		"scheme", "result", "fetchOps", "cryptoOps", "fixed", "modeled", "data")
+	if !*jsonOut {
+		fmt.Printf("%-12s %-12s %10s %10s %10s %12s  %s\n",
+			"scheme", "result", "fetchOps", "cryptoOps", "fixed", "modeled", "data")
+	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, e := range list {
-		runOne(e.name, e.scheme, e.family, *writes, *mem)
+		row := runOne(e.name, e.scheme, e.family, *writes, *mem, *jsonOut, *verbose)
+		if *jsonOut && row != nil {
+			_ = enc.Encode(row)
+		}
+	}
+	if *jsonOut {
+		return
 	}
 
 	fmt.Println()
@@ -72,7 +85,20 @@ func main() {
 		recmodel.FormatDuration(recmodel.ASITNS(512<<10)))
 }
 
-func runOne(name string, scheme memctrl.Scheme, family sim.Family, writes int, mem uint64) {
+// recoverRow is the -json shape of one scheme's run.
+type recoverRow struct {
+	Scheme        string         `json:"scheme"`
+	Result        string         `json:"result"`
+	FetchOps      uint64         `json:"fetch_ops"`
+	CryptoOps     uint64         `json:"crypto_ops"`
+	CountersFixed uint64         `json:"counters_fixed"`
+	ModeledNS     uint64         `json:"modeled_ns"`
+	Phases        *obs.RecLedger `json:"recovery_phase_ns"`
+	DataVerified  int            `json:"data_blocks_verified"`
+	DataBad       int            `json:"data_blocks_bad"`
+}
+
+func runOne(name string, scheme memctrl.Scheme, family sim.Family, writes int, mem uint64, jsonOut, verbose bool) *recoverRow {
 	cfg := memctrl.DefaultConfig(scheme)
 	cfg.MemoryBytes = mem
 	cfg.TriadLevels = 2
@@ -81,8 +107,8 @@ func runOne(name string, scheme memctrl.Scheme, family sim.Family, writes int, m
 	cfg.MetaCacheBlocks = 1024
 	ctrl, err := sim.NewController(family, cfg)
 	if err != nil {
-		fmt.Printf("%-12s error: %v\n", name, err)
-		return
+		fmt.Fprintf(os.Stderr, "%-12s error: %v\n", name, err)
+		return nil
 	}
 
 	rng := rand.New(rand.NewSource(7))
@@ -92,8 +118,8 @@ func runOne(name string, scheme memctrl.Scheme, family sim.Family, writes int, m
 		var d [64]byte
 		rng.Read(d[:])
 		if err := ctrl.WriteBlock(addr, d); err != nil {
-			fmt.Printf("%-12s write error: %v\n", name, err)
-			return
+			fmt.Fprintf(os.Stderr, "%-12s write error: %v\n", name, err)
+			return nil
 		}
 		expect[addr] = d
 	}
@@ -121,8 +147,40 @@ func runOne(name string, scheme memctrl.Scheme, family sim.Family, writes int, m
 			}
 		}
 	}
+	row := &recoverRow{
+		Scheme: name, Result: result,
+		FetchOps: rep.FetchOps, CryptoOps: rep.CryptoOps,
+		CountersFixed: rep.CountersFixed, ModeledNS: rep.ModeledNS(),
+		Phases: &rep.Phases, DataVerified: dataOK, DataBad: dataBad,
+	}
+	if jsonOut {
+		return row
+	}
 	dataStr := fmt.Sprintf("%d/%d blocks verified", dataOK, dataOK+dataBad)
 	fmt.Printf("%-12s %-12s %10d %10d %10d %12s  %s\n",
 		name, result, rep.FetchOps, rep.CryptoOps, rep.CountersFixed,
 		recmodel.FormatDuration(rep.ModeledNS()), dataStr)
+	if verbose {
+		printPhases(rep.Phases)
+	}
+	return row
+}
+
+// printPhases renders the non-zero recovery phases as an indented
+// table with a share-of-total column; the phase values sum exactly to
+// the modeled recovery time by construction (DESIGN.md §16).
+func printPhases(l obs.RecLedger) {
+	total := l.Total()
+	if total == 0 {
+		fmt.Printf("             %-22s (no modeled recovery work)\n", "phases:")
+		return
+	}
+	for _, p := range obs.RecPhases() {
+		v := l.Get(p)
+		if v == 0 {
+			continue
+		}
+		fmt.Printf("             %-22s %12s  %5.1f%%\n",
+			p.String(), recmodel.FormatDuration(v), 100*float64(v)/float64(total))
+	}
 }

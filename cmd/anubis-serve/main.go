@@ -47,6 +47,8 @@ func main() {
 		maxBytes    = flag.Uint64("max-tenant-bytes", 64<<20, "per-tenant protected-capacity quota (bytes)")
 		queueDepth  = flag.Int("queue-depth", 64, "per-tenant pending-request queue bound")
 		maxInflight = flag.Int("max-inflight", 256, "global in-flight request cap")
+		events      = flag.Int("events", obs.DefaultRecorderCap,
+			"flight-recorder ring capacity (last N events on /debug/events; dumped to state-dir/events.jsonl on shutdown; 0 disables)")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -54,11 +56,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	var rec *obs.Recorder
+	if *events > 0 {
+		rec = obs.NewRecorder(*events)
+	}
 	s := serve.New(serve.Config{
 		MaxTenants:         *maxTenants,
 		MaxBlocksPerTenant: *maxBytes / 64,
 		QueueDepth:         *queueDepth,
 		MaxInflight:        *maxInflight,
+		Recorder:           rec,
 	})
 	if *stateDir != "" {
 		if _, err := os.Stat(filepath.Join(*stateDir, "manifest.json")); err == nil {
@@ -106,9 +113,37 @@ func main() {
 	if err := s.Shutdown(*stateDir); err != nil {
 		fail(err)
 	}
+	dumpEvents(rec, *stateDir)
 	if *stateDir != "" {
 		fmt.Printf("anubis-serve: flushed and saved %s/manifest.json\n", *stateDir)
 	} else {
 		fmt.Println("anubis-serve: all tenants flushed")
 	}
+}
+
+// dumpEvents writes the flight-recorder tail on shutdown: to
+// <stateDir>/events.jsonl when state is being saved, to stderr
+// otherwise — either way the last thing the server did survives the
+// process.
+func dumpEvents(rec *obs.Recorder, stateDir string) {
+	if !rec.Enabled() || rec.Total() == 0 {
+		return
+	}
+	if stateDir == "" {
+		fmt.Fprintf(os.Stderr, "anubis-serve: flight recorder tail (%d events total):\n", rec.Total())
+		_ = rec.WriteJSONL(os.Stderr)
+		return
+	}
+	path := filepath.Join(stateDir, "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anubis-serve: event dump:", err)
+		return
+	}
+	defer f.Close()
+	if err := rec.WriteJSONL(f); err != nil {
+		fmt.Fprintln(os.Stderr, "anubis-serve: event dump:", err)
+		return
+	}
+	fmt.Printf("anubis-serve: dumped flight recorder to %s (%d events total)\n", path, rec.Total())
 }

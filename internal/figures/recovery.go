@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"anubis/internal/memctrl"
+	"anubis/internal/obs"
 	"anubis/internal/parallel"
 	"anubis/internal/sim"
 	"anubis/internal/trace"
@@ -69,6 +70,11 @@ type RecoverySweepResult struct {
 	// (via LatencyHist.Merge), in trial order.
 	ReadLat  sim.LatencyHist `json:"read_latency"`
 	WriteLat sim.LatencyHist `json:"write_latency"`
+
+	// PhaseTotals merges every trial's recovery-phase ledger; its total
+	// equals the sum of the trials' modeled recovery times exactly
+	// (each trial's ledger is sum-exact, DESIGN.md §16).
+	PhaseTotals obs.RecLedger `json:"recovery_phase_ns"`
 }
 
 // ModeledRecoveryNS returns the min/mean/max of the modeled recovery
@@ -219,6 +225,7 @@ func RecoverySweep(c RecoverySweepConfig) (*RecoverySweepResult, error) {
 		out.Trials[t] = trials[t]
 		out.ReadLat.Merge(&trials[t].Window.ReadLat)
 		out.WriteLat.Merge(&trials[t].Window.WriteLat)
+		out.PhaseTotals.Merge(&trials[t].Report.Phases)
 	}
 	return out, nil
 }
@@ -226,8 +233,8 @@ func RecoverySweep(c RecoverySweepConfig) (*RecoverySweepResult, error) {
 // PrintRecoverySweep renders a sweep for both Anubis schemes.
 func PrintRecoverySweep(w io.Writer, rc RunConfig, trials int) error {
 	fmt.Fprintln(w, "Recovery-time distribution (forked warm state; modeled at 100 ns/op)")
-	fmt.Fprintf(w, "  %-10s %-12s %8s %12s %12s %12s %12s\n",
-		"scheme", "app", "trials", "min", "mean", "p95", "max")
+	fmt.Fprintf(w, "  %-10s %-12s %8s %12s %12s %12s %12s  %s\n",
+		"scheme", "app", "trials", "min", "mean", "p95", "max", "dominant phase")
 	for _, sc := range []struct {
 		scheme memctrl.Scheme
 		family sim.Family
@@ -242,8 +249,25 @@ func PrintRecoverySweep(w io.Writer, rc RunConfig, trials int) error {
 			return err
 		}
 		min, mean, max := res.ModeledRecoveryNS()
-		fmt.Fprintf(w, "  %-10s %-12s %8d %10dns %10dns %10dns %10dns\n",
-			sc.scheme, res.App, len(res.Trials), min, mean, res.RecoveryPercentileNS(95), max)
+		fmt.Fprintf(w, "  %-10s %-12s %8d %10dns %10dns %10dns %10dns  %s\n",
+			sc.scheme, res.App, len(res.Trials), min, mean, res.RecoveryPercentileNS(95), max,
+			dominantPhase(&res.PhaseTotals))
 	}
 	return nil
+}
+
+// dominantPhase names the phase carrying the largest share of the
+// sweep's merged recovery time, with its percentage.
+func dominantPhase(l *obs.RecLedger) string {
+	total := l.Total()
+	if total == 0 {
+		return "-"
+	}
+	best := obs.RPImageLoad
+	for _, p := range obs.RecPhases() {
+		if l.Get(p) > l.Get(best) {
+			best = p
+		}
+	}
+	return fmt.Sprintf("%s %.0f%%", best, 100*float64(l.Get(best))/float64(total))
 }

@@ -24,6 +24,11 @@ import (
 //     level, then compare the resulting root with the on-chip root.
 func (b *Bonsai) Recover() (*RecoveryReport, error) {
 	rep, err := b.doRecover()
+	if rep != nil {
+		// Attribute any ops counted since the last phase boundary so the
+		// phase ledger covers the whole pass, success or failure.
+		rep.settlePhases()
+	}
 	if b.probe != nil && rep != nil {
 		b.probe.Event(obs.EvRecovery, b.now, b.now+rep.ModeledNS(), rep.FetchOps+rep.CryptoOps)
 	}
@@ -68,11 +73,14 @@ func (b *Bonsai) doRecover() (*RecoveryReport, error) {
 				return rep, err
 			}
 			levels := b.epochAncestorLevels(entries)
+			rep.enterPhase(obs.RPJournalPassA)
 			b.epochWriteCounters(entries, true, rep)
 			b.epochRecompute(levels, rep)
+			rep.enterPhase(obs.RPRootAnchor)
 			if got := b.epochRootNVM(rep); got != root {
 				return rep, fmt.Errorf("%w: epoch-start root %#x != stored root %#x", ErrUnrecoverable, got, root)
 			}
+			rep.enterPhase(obs.RPJournalPassB)
 			b.epochReplayAndAnchor(entries, levels, rep)
 			b.crashed = false
 			return rep, nil
@@ -173,7 +181,11 @@ func (b *Bonsai) recoverOsirisFull(rep *RecoveryReport) (*RecoveryReport, error)
 	if err != nil {
 		return rep, err
 	}
+	rep.enterPhase(obs.RPJournalPassA)
 	b.epochWriteCounters(entries, true, rep) // pass A: epoch-start content
+	// The scan's media fetches are the counter scan; the per-candidate
+	// decrypt+check trials inside it are ECC verification work.
+	rep.enterPhaseSplit(obs.RPCounterScan, obs.RPECCVerify)
 	for page := uint64(0); page < b.numPages; page++ {
 		if journaled[page] {
 			continue
@@ -182,6 +194,7 @@ func (b *Bonsai) recoverOsirisFull(rep *RecoveryReport) (*RecoveryReport, error)
 			return rep, err
 		}
 	}
+	rep.enterPhase(obs.RPMerkleRebuild)
 	root := merkle.BuildGeneral(b.geom, b.eng,
 		func(i uint64) [BlockBytes]byte { return b.dev.Read(nvm.RegionCounter, i) },
 		func(flat uint64, n merkle.GNode) {
@@ -195,6 +208,7 @@ func (b *Bonsai) recoverOsirisFull(rep *RecoveryReport) (*RecoveryReport, error)
 		return rep, fmt.Errorf("%w: rebuilt root %#x != stored root %#x", ErrUnrecoverable, root, want)
 	}
 	if len(entries) > 0 {
+		rep.enterPhase(obs.RPJournalPassB)
 		b.epochReplayAndAnchor(entries, b.epochAncestorLevels(entries), rep)
 	} else {
 		b.rootHash = root
@@ -221,8 +235,10 @@ func (b *Bonsai) recoverTriad(rep *RecoveryReport) (*RecoveryReport, error) {
 		return rep, jerr
 	}
 	jLevels := b.epochAncestorLevels(entries)
+	rep.enterPhase(obs.RPJournalPassA)
 	b.epochWriteCounters(entries, true, rep)
 	b.epochRecompute(jLevels, rep)
+	rep.enterPhase(obs.RPMerkleRebuild)
 	start := b.cfg.TriadLevels
 	if start > b.geom.Levels() {
 		start = b.geom.Levels()
@@ -232,12 +248,14 @@ func (b *Bonsai) recoverTriad(rep *RecoveryReport) (*RecoveryReport, error) {
 			b.recomputeNode(level, idx, rep)
 		}
 	}
+	rep.enterPhase(obs.RPRootAnchor)
 	root := b.epochRootNVM(rep)
 	want, _ := b.dev.GetReg64(regBonsaiRoot)
 	if root != want {
 		return rep, fmt.Errorf("%w: rebuilt root %#x != stored root %#x", ErrUnrecoverable, root, want)
 	}
 	if len(entries) > 0 {
+		rep.enterPhase(obs.RPJournalPassB)
 		b.epochReplayAndAnchor(entries, jLevels, rep)
 	} else {
 		b.rootHash = root
@@ -264,8 +282,10 @@ func (b *Bonsai) recoverSelective(rep *RecoveryReport) (*RecoveryReport, error) 
 	if jerr != nil {
 		return rep, jerr
 	}
+	rep.enterPhase(obs.RPJournalPassB)
 	b.epochWriteCounters(entries, false, rep)
 	b.dev.JournalReset()
+	rep.enterPhase(obs.RPMerkleRebuild)
 	root := merkle.BuildGeneral(b.geom, b.eng,
 		func(i uint64) [BlockBytes]byte { return b.dev.Read(nvm.RegionCounter, i) },
 		func(flat uint64, n merkle.GNode) {
@@ -295,17 +315,20 @@ func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
 		return rep, jerr
 	}
 	jLevels := b.epochAncestorLevels(entries)
+	rep.enterPhase(obs.RPJournalPassA)
 	b.epochWriteCounters(entries, true, rep)
 
 	// 1. Read the SCT and repair every tracked counter block. The
 	// restored tables also become the controller's live mirrors: a
 	// mirror that disagreed with NVM would corrupt neighbouring entries
 	// on the next 64-byte shadow block write.
+	rep.enterPhase(obs.RPShadowReplay)
 	sct := shadow.RestoreAddrTable(b.cCache.NumSlots(), func(bi uint64) [BlockBytes]byte {
 		rep.FetchOps++
 		return b.dev.Read(nvm.RegionSCT, bi)
 	})
 	b.sct = sct
+	rep.enterPhaseSplit(obs.RPCounterScan, obs.RPECCVerify)
 	seenPages := make(map[uint64]bool)
 	for _, tr := range sct.Live() {
 		rep.EntriesScanned++
@@ -328,6 +351,7 @@ func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
 	}
 
 	// 2. Read the SMT and classify tracked nodes by tree level.
+	rep.enterPhase(obs.RPShadowReplay)
 	smt := shadow.RestoreAddrTable(b.tCache.NumSlots(), func(bi uint64) [BlockBytes]byte {
 		rep.FetchOps++
 		return b.dev.Read(nvm.RegionSMT, bi)
@@ -354,6 +378,7 @@ func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
 	// the level below being already fixed (Algorithm 1, line 9+). The
 	// journaled pages' root paths join the set: their updates were
 	// deferred, so no SMT entry tracks them.
+	rep.enterPhase(obs.RPMerkleRebuild)
 	for level := 0; level < b.geom.Levels(); level++ {
 		idxs := append(byLevel[level], jLevels[level]...)
 		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
@@ -368,6 +393,7 @@ func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
 	}
 
 	// 4. Compare the resulting root against the on-chip root register.
+	rep.enterPhase(obs.RPRootAnchor)
 	root := b.epochRootNVM(rep)
 	want, _ := b.dev.GetReg64(regBonsaiRoot)
 	if root != want {
@@ -376,6 +402,7 @@ func (b *Bonsai) recoverAGIT(rep *RecoveryReport) (*RecoveryReport, error) {
 
 	// 5. Epoch-journal pass B: replay the latest content and re-anchor.
 	if len(entries) > 0 {
+		rep.enterPhase(obs.RPJournalPassB)
 		b.epochReplayAndAnchor(entries, jLevels, rep)
 	} else {
 		b.rootHash = root

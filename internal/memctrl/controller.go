@@ -314,6 +314,49 @@ type RecoveryReport struct {
 	// mid-epoch recovery (0 when the crash fell between epoch windows or
 	// the epoch pipeline was off).
 	JournalPages uint64 `json:"journal_pages,omitempty"`
+
+	// Phases decomposes the modeled recovery time into the recovery
+	// phase taxonomy (DESIGN.md §16). Every counted op is attributed to
+	// exactly one phase via delta accounting at phase boundaries, so
+	// Phases.Total() == ModeledNS() holds by construction — the
+	// sum-exact contract TestRecoveryAttributionSumExact asserts.
+	Phases obs.RecLedger `json:"recovery_phase_ns"`
+
+	// Delta-accounting state: the phase ops counted since the last
+	// boundary belong to, and how many fetch/crypto ops have already
+	// been settled into Phases. Crypto ops can be routed to a different
+	// phase than fetches (cryptoPhase) so interleaved work — e.g. ECC
+	// trials inside the counter scan — lands in its own phase without
+	// touching every charge site.
+	phase       obs.RecPhase
+	cryptoPhase obs.RecPhase
+	seenFetch   uint64
+	seenCrypto  uint64
+}
+
+// enterPhase settles all ops counted since the previous boundary into
+// the current phase(s), then makes p the current phase for both fetch
+// and crypto ops.
+func (r *RecoveryReport) enterPhase(p obs.RecPhase) { r.enterPhaseSplit(p, p) }
+
+// enterPhaseSplit is enterPhase with separate sinks: subsequent fetch
+// ops accrue to fetchP, crypto ops to cryptoP.
+func (r *RecoveryReport) enterPhaseSplit(fetchP, cryptoP obs.RecPhase) {
+	r.settlePhases()
+	r.phase, r.cryptoPhase = fetchP, cryptoP
+}
+
+// settlePhases attributes every op counted since the last settlement to
+// the current phase(s). Recover wrappers call it once more on exit (on
+// success and failure alike) so the ledger always covers the full pass.
+func (r *RecoveryReport) settlePhases() {
+	if d := r.FetchOps - r.seenFetch; d > 0 {
+		r.Phases.Add(r.phase, d*OpNS)
+	}
+	if d := r.CryptoOps - r.seenCrypto; d > 0 {
+		r.Phases.Add(r.cryptoPhase, d*OpNS)
+	}
+	r.seenFetch, r.seenCrypto = r.FetchOps, r.CryptoOps
 }
 
 // OpNS is the paper's per-operation recovery cost model (100 ns per

@@ -24,6 +24,11 @@ import (
 //     every recovered node's MAC against its parent counter.
 func (c *SGX) Recover() (*RecoveryReport, error) {
 	rep, err := c.doRecover()
+	if rep != nil {
+		// Attribute any ops counted since the last phase boundary so the
+		// phase ledger covers the whole pass, success or failure.
+		rep.settlePhases()
+	}
 	if c.probe != nil && rep != nil {
 		c.probe.Event(obs.EvRecovery, c.now, c.now+rep.ModeledNS(), rep.FetchOps+rep.CryptoOps)
 	}
@@ -78,6 +83,9 @@ func (c *SGX) recoverASIT(rep *RecoveryReport) (*RecoveryReport, error) {
 		}
 	}
 	rep.JournalPages = uint64(len(entries))
+	// The table restore (with pass A's Old substitution riding the same
+	// reads) and its root verification are one phase: shadow replay.
+	rep.enterPhase(obs.RPShadowReplay)
 	c.st = shadow.RestoreSTTable(c.mCache.NumSlots(), func(bi uint64) [BlockBytes]byte {
 		rep.FetchOps++
 		if je, ok := c.dev.JournalLookup(bi); ok {
@@ -102,6 +110,7 @@ func (c *SGX) recoverASIT(rep *RecoveryReport) (*RecoveryReport, error) {
 	// copy is torn; write it through, rebuild the protection tree, and
 	// retire the window by anchoring the fresh root.
 	if len(entries) > 0 {
+		rep.enterPhase(obs.RPJournalPassB)
 		for _, je := range entries {
 			c.dev.WriteRaw(nvm.RegionST, je.Key, je.New)
 			if e := shadow.UnpackSTEntry(je.New); e.Valid {
@@ -133,6 +142,7 @@ func (c *SGX) recoverASIT(rep *RecoveryReport) (*RecoveryReport, error) {
 		ref metaRef
 		g   counter.SGX
 	}
+	rep.enterPhase(obs.RPMerkleRebuild)
 	best := make(map[uint64]candidate)
 	for slot := 0; slot < c.st.NumSlots(); slot++ {
 		e, ok := c.st.Get(slot)
@@ -196,6 +206,7 @@ func (c *SGX) recoverASIT(rep *RecoveryReport) (*RecoveryReport, error) {
 	// tampering with the stale copy's MSBs (the only part not stored in
 	// the shadow table) is caught here; the shadow table itself was
 	// already authenticated by SHADOW_TREE_ROOT in step 1.
+	rep.enterPhase(obs.RPECCVerify)
 	for _, rc := range recs {
 		rep.CryptoOps++
 		if c.eng.STMAC(c.addrOf(rc.ref), rc.g.Ctr[:]) != rc.g.MAC {

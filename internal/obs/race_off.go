@@ -1,0 +1,9 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in. The
+// race runtime allocates on instrumented accesses, so steady-state
+// zero-allocation assertions are only meaningful without it (mirrors
+// the sim/nvm/cryptoeng race_on/race_off gate).
+const raceEnabled = false

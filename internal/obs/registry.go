@@ -88,12 +88,111 @@ func (r *Registry) Merge(other *Registry) {
 	}
 }
 
+// EscapeLabelValue escapes a raw label value per the Prometheus text
+// exposition format: backslash, double-quote, and newline become `\\`,
+// `\"`, and `\n`. Everything else — tabs, unicode, control bytes —
+// passes through verbatim, which is what the format specifies (and
+// where Go's %q over-escapes: `%q` turns a tab into `\t` and é into a
+// `\u` sequence, both of which a strict scraper must reject).
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	sb.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+	return sb.String()
+}
+
+// UnescapeLabelValue inverts EscapeLabelValue. It reports an error on
+// any escape sequence the exposition format does not define — the
+// strictness the round-trip test leans on.
+func UnescapeLabelValue(v string) (string, error) {
+	if !strings.ContainsRune(v, '\\') {
+		return v, nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		if v[i] != '\\' {
+			sb.WriteByte(v[i])
+			continue
+		}
+		i++
+		if i >= len(v) {
+			return "", fmt.Errorf("obs: dangling backslash in label value %q", v)
+		}
+		switch v[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case '"':
+			sb.WriteByte('"')
+		case 'n':
+			sb.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("obs: invalid escape \\%c in label value %q", v[i], v)
+		}
+	}
+	return sb.String(), nil
+}
+
+// Label builds a metric name with a literal label set from raw label
+// values, escaping each value per the exposition format:
+//
+//	Label("f", "tenant", `a"b`) == `f{tenant="a\"b"}`
+//
+// kv alternates key, value; keys must be legal label names already.
+// Every label-in-name metric built from externally influenced strings
+// must go through Label (or equivalent escaping) — the renderer emits
+// names verbatim.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.Grow(len(name) + 16*len(kv))
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteString(`="`)
+		sb.WriteString(EscapeLabelValue(kv[i+1]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
 // MergeLedger adds a ledger's components as
 // `<prefix>{component="<name>"}` counters.
 func (r *Registry) MergeLedger(prefix string, l *Ledger) {
 	for i, v := range l {
 		if v != 0 {
-			r.Counter(fmt.Sprintf("%s{component=%q}", prefix, compNames[i]), v)
+			r.Counter(Label(prefix, "component", compNames[i]), v)
+		}
+	}
+}
+
+// MergeRecLedger adds a recovery-phase ledger's phases as
+// `<prefix>{phase="<name>"}` counters.
+func (r *Registry) MergeRecLedger(prefix string, l *RecLedger) {
+	for i, v := range l {
+		if v != 0 {
+			r.Counter(Label(prefix, "phase", recPhaseNames[i]), v)
 		}
 	}
 }

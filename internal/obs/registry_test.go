@@ -190,3 +190,160 @@ func TestRegistryMergeLedger(t *testing.T) {
 		t.Fatalf("shadow counter = %d, want 10", got)
 	}
 }
+
+// TestLabelEscapeRoundTrip feeds hostile label values through the full
+// exposition pipeline — Label → WritePrometheus → a strict line parser
+// → UnescapeLabelValue — and requires the originals back. The escaper
+// must cover exactly the three characters the text format defines
+// (backslash, double-quote, newline) and must NOT touch anything else:
+// Go's %q would turn tabs and unicode into \t and \uXXXX sequences,
+// which are invalid exposition escapes.
+func TestLabelEscapeRoundTrip(t *testing.T) {
+	nasty := []string{
+		"plain",
+		`back\slash`,
+		`dou"ble`,
+		"new\nline",
+		"tab\there",
+		"unicode-é-漢",
+		`all"three\of` + "\nthem",
+		`trailing\`,
+		"",
+	}
+	r := NewRegistry()
+	want := make(map[string]uint64) // raw value -> counter value
+	for i, v := range nasty {
+		r.Counter(Label("anubis_escape_test_total", "v", v), uint64(i+1))
+		want[v] = uint64(i + 1)
+	}
+
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+
+	// Strict parser: every sample line must be
+	//   name{k="escaped",...} value
+	// with only \\ \" \n escapes inside quotes.
+	got := make(map[string]uint64)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, raw, value := parseSampleLine(t, line)
+		if name != "anubis_escape_test_total" {
+			continue
+		}
+		unescaped, err := UnescapeLabelValue(raw)
+		if err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		got[unescaped] = value
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d distinct values, want %d: %#v", len(got), len(want), got)
+	}
+	for v, n := range want {
+		if got[v] != n {
+			t.Errorf("value %q: got counter %d, want %d", v, got[v], n)
+		}
+	}
+}
+
+// parseSampleLine is the strict exposition-format scanner the
+// round-trip test uses: it rejects unescaped quotes, bare newlines
+// (impossible by construction — they would split the line), and any
+// escape outside the defined three.
+func parseSampleLine(t *testing.T, line string) (name, rawLabelV string, value uint64) {
+	t.Helper()
+	open := strings.IndexByte(line, '{')
+	if open < 0 {
+		t.Fatalf("sample line without labels: %q", line)
+	}
+	name = line[:open]
+	rest := line[open+1:]
+	if !strings.HasPrefix(rest, `v="`) {
+		t.Fatalf("unexpected label key in %q", line)
+	}
+	rest = rest[len(`v="`):]
+	// Scan to the closing unescaped quote.
+	var sb strings.Builder
+	i := 0
+	for {
+		if i >= len(rest) {
+			t.Fatalf("unterminated label value in %q", line)
+		}
+		c := rest[i]
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if i+1 >= len(rest) {
+				t.Fatalf("dangling backslash in %q", line)
+			}
+			next := rest[i+1]
+			if next != '\\' && next != '"' && next != 'n' {
+				t.Fatalf("invalid escape \\%c in %q", next, line)
+			}
+			sb.WriteByte(c)
+			sb.WriteByte(next)
+			i += 2
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	rest = rest[i+1:] // past closing quote
+	if !strings.HasPrefix(rest, "} ") {
+		t.Fatalf("malformed sample tail %q in %q", rest, line)
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(rest[2:], "%d", &v); err != nil {
+		t.Fatalf("bad sample value in %q: %v", line, err)
+	}
+	return name, sb.String(), v
+}
+
+// TestUnescapeLabelValueRejectsUndefined: the strict decoder errors on
+// escapes the exposition format does not define.
+func TestUnescapeLabelValueRejectsUndefined(t *testing.T) {
+	for _, bad := range []string{`\t`, `\x41`, `a\`, `\é`} {
+		if got, err := UnescapeLabelValue(bad); err == nil {
+			t.Errorf("UnescapeLabelValue(%q) = %q, want error", bad, got)
+		}
+	}
+	for raw, want := range map[string]string{
+		`\\`: `\`, `\"`: `"`, `\n`: "\n", `a\\b\"c\nd`: "a\\b\"c\nd",
+	} {
+		got, err := UnescapeLabelValue(raw)
+		if err != nil || got != want {
+			t.Errorf("UnescapeLabelValue(%q) = %q, %v; want %q", raw, got, err, want)
+		}
+	}
+}
+
+// TestLabelTameValuesByteIdentical: Label must render tame values (the
+// ones every existing metric uses) exactly like the %q builders it
+// replaced, so dashboards and baselines keyed on metric names survive
+// the escaping audit unchanged.
+func TestLabelTameValuesByteIdentical(t *testing.T) {
+	cases := [][]string{
+		{"anubis_serve_tenant_requests_total", "tenant", "t0", "op", "write"},
+		{"anubis_fuzz_trials_total", "policy", "epoch", "model", "torn-block"},
+		{"anubis_stall_ns_total", "component", "crypto"},
+	}
+	for _, c := range cases {
+		got := Label(c[0], c[1:]...)
+		var sb strings.Builder
+		sb.WriteString(c[0])
+		sb.WriteByte('{')
+		for i := 1; i+1 < len(c); i += 2 {
+			if i > 1 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%s=%q", c[i], c[i+1])
+		}
+		sb.WriteByte('}')
+		if got != sb.String() {
+			t.Errorf("Label(%v) = %q, want %q", c, got, sb.String())
+		}
+	}
+}

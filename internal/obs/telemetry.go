@@ -19,14 +19,34 @@ import (
 //
 // Endpoints:
 //
-//	/metrics — Prometheus text exposition (plus process gauges:
-//	           heap bytes, goroutines, uptime) for scraping.
-//	/vars    — expvar-style JSON snapshot of every metric + memstats.
-//	/        — tiny index page.
+//	/metrics      — Prometheus text exposition (plus process gauges:
+//	                heap bytes, goroutines, uptime) for scraping.
+//	/vars         — expvar-style JSON snapshot of every metric + memstats.
+//	/debug/events — flight-recorder tail as JSON lines (404 when no
+//	                recorder is attached).
+//	/dash         — embedded live dashboard (dash.go).
+//	/debug/dash.json — structured snapshot the dashboard polls.
+//	/             — tiny index page.
 type Telemetry struct {
 	mu    sync.Mutex
 	reg   *Registry
 	start time.Time
+	rec   *Recorder // nil until AttachRecorder
+}
+
+// AttachRecorder publishes a flight recorder on /debug/events and in
+// the dashboard's event tail. Attach before serving; a nil recorder
+// detaches.
+func (t *Telemetry) AttachRecorder(r *Recorder) {
+	t.mu.Lock()
+	t.rec = r
+	t.mu.Unlock()
+}
+
+func (t *Telemetry) recorder() *Recorder {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rec
 }
 
 // NewTelemetry returns an empty live-telemetry publisher.
@@ -50,9 +70,21 @@ func (t *Telemetry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		t.serveMetrics(w)
 	case "/vars", "/debug/vars":
 		t.serveVars(w)
+	case "/debug/events":
+		rec := t.recorder()
+		if rec == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = rec.WriteJSONL(w)
+	case "/dash":
+		t.serveDash(w)
+	case "/debug/dash.json":
+		t.serveDashJSON(w)
 	case "/":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "anubis telemetry: /metrics (Prometheus), /vars (JSON)")
+		fmt.Fprintln(w, "anubis telemetry: /metrics (Prometheus), /vars (JSON), /dash (dashboard), /debug/events (flight recorder)")
 	default:
 		http.NotFound(w, req)
 	}

@@ -2,11 +2,13 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -140,4 +142,136 @@ func TestServeCloseReleasesPort(t *testing.T) {
 	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
 		t.Fatal("scrape succeeded after Close")
 	}
+}
+
+// TestTelemetryConcurrentMergeAndScrape hammers a Telemetry from both
+// sides at once — writer goroutines folding registries in through
+// Update while scraper goroutines GET /metrics, /vars, and
+// /debug/dash.json — and strictly parses every scraped body: each
+// sample line must be well-formed, no line may be torn, and counters
+// must be monotone across a single scraper's successive reads. Run
+// with -race this doubles as the data-race proof for the serving
+// boundary.
+func TestTelemetryConcurrentMergeAndScrape(t *testing.T) {
+	tel := NewTelemetry()
+	rec := NewRecorder(64)
+	tel.AttachRecorder(rec)
+
+	const (
+		writers = 4
+		scrapes = 40
+		rounds  = 50
+	)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < writers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				part := NewRegistry()
+				part.Counter(Label("hammer_total", "worker", fmt.Sprintf("w%d", wkr)), 1)
+				part.Counter("hammer_all_total", 1)
+				part.Observe("hammer_wall_ns", uint64(i+1))
+				tel.Update(func(r *Registry) { r.Merge(part) })
+				rec.Record(Event{Kind: EvtExec, Op: "hammer"})
+			}
+		}(wkr)
+	}
+
+	scrapeErr := make(chan error, 3)
+	paths := []string{"/metrics", "/vars", "/debug/dash.json"}
+	for _, path := range paths {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			var lastAll uint64
+			for i := 0; i < scrapes; i++ {
+				w := httptest.NewRecorder()
+				tel.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+				if w.Code != 200 {
+					scrapeErr <- fmt.Errorf("%s: status %d", path, w.Code)
+					return
+				}
+				body := w.Body.String()
+				switch path {
+				case "/metrics":
+					all, err := strictParseMetrics(body)
+					if err != nil {
+						scrapeErr <- fmt.Errorf("%s scrape %d: %v", path, i, err)
+						return
+					}
+					if all < lastAll {
+						scrapeErr <- fmt.Errorf("%s: counter went backwards: %d -> %d", path, lastAll, all)
+						return
+					}
+					lastAll = all
+				default: // JSON endpoints must stay parseable mid-merge
+					var v map[string]any
+					if err := json.Unmarshal([]byte(body), &v); err != nil {
+						scrapeErr <- fmt.Errorf("%s scrape %d: %v", path, i, err)
+						return
+					}
+				}
+			}
+		}(path)
+	}
+	wg.Wait()
+	close(scrapeErr)
+	for err := range scrapeErr {
+		t.Error(err)
+	}
+
+	// Final state: nothing lost to the concurrency.
+	w := httptest.NewRecorder()
+	tel.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	all, err := strictParseMetrics(w.Body.String())
+	if err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	if want := uint64(writers * rounds); all != want {
+		t.Errorf("hammer_all_total = %d, want %d", all, want)
+	}
+	if rec.Total() != uint64(writers*rounds) {
+		t.Errorf("recorder total = %d, want %d", rec.Total(), writers*rounds)
+	}
+}
+
+// strictParseMetrics validates a whole Prometheus exposition body line
+// by line — TYPE comments, `name value` and `name{labels} value`
+// samples, nothing else — and returns the hammer_all_total value (0 if
+// absent). A torn line (interleaved writes, split buffers) fails the
+// parse.
+func strictParseMetrics(body string) (hammerAll uint64, err error) {
+	if !strings.HasSuffix(body, "\n") {
+		return 0, fmt.Errorf("body does not end in newline (torn write?)")
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				return 0, fmt.Errorf("malformed TYPE line %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return 0, fmt.Errorf("malformed sample line %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if open := strings.IndexByte(name, '{'); open >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return 0, fmt.Errorf("unbalanced braces in %q", line)
+			}
+		} else if strings.ContainsAny(name, `"}=`) {
+			return 0, fmt.Errorf("label characters outside braces in %q", line)
+		}
+		var f float64
+		if _, serr := fmt.Sscanf(val, "%g", &f); serr != nil {
+			return 0, fmt.Errorf("bad value in %q: %v", line, serr)
+		}
+		if name == "hammer_all_total" {
+			hammerAll = uint64(f)
+		}
+	}
+	return hammerAll, nil
 }

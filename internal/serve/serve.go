@@ -88,6 +88,12 @@ type Config struct {
 	// Telemetry receives serving metrics; nil allocates a private one
 	// (exposed via Server.Telemetry for a -metrics-addr endpoint).
 	Telemetry *obs.Telemetry
+	// Recorder is the flight recorder receiving structured request and
+	// lifecycle events (enqueue/shed/exec/drain, create/fork/close,
+	// crash/recover/audit). nil disables recording at zero hot-path
+	// cost. The recorder is auto-attached to Telemetry so /debug/events
+	// and the dashboard's event tail see it.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +184,7 @@ func (t *tenant) stopWorker() { t.stop.Do(func() { close(t.quit) }) }
 type Server struct {
 	cfg Config
 	tel *obs.Telemetry
+	rec *obs.Recorder // nil = flight recorder disabled
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
@@ -190,13 +197,31 @@ type Server struct {
 // New returns an empty server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, tel: cfg.Telemetry, tenants: make(map[string]*tenant)}
+	s := &Server{cfg: cfg, tel: cfg.Telemetry, rec: cfg.Recorder, tenants: make(map[string]*tenant)}
+	if s.rec != nil {
+		s.tel.AttachRecorder(s.rec)
+	}
 	s.publishGauges()
 	return s
 }
 
 // Telemetry returns the metrics sink (serve it with obs.Serve).
 func (s *Server) Telemetry() *obs.Telemetry { return s.tel }
+
+// Recorder returns the flight recorder (nil when disabled).
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// recLedgerFromMap rebuilds a phase ledger from the public report's
+// name → ns map (unknown names are dropped, matching UnmarshalJSON).
+func recLedgerFromMap(m map[string]uint64) obs.RecLedger {
+	var l obs.RecLedger
+	for name, v := range m {
+		if p, ok := obs.RecPhaseByName(name); ok {
+			l.Add(p, v)
+		}
+	}
+	return l
+}
 
 func validID(id string) bool {
 	if len(id) == 0 || len(id) > 64 {
@@ -257,6 +282,9 @@ func (s *Server) ForkTenant(parent, child string) error {
 		return err
 	}
 	s.countOp(parent, "fork", nil)
+	if s.rec != nil {
+		s.rec.Record(obs.Event{Kind: obs.EvtFork, Tenant: child, Op: "fork", Reason: "parent=" + parent})
+	}
 	return nil
 }
 
@@ -290,6 +318,9 @@ func (s *Server) add(id string, tc TenantConfig, cfg anubis.Config, sys *anubis.
 	go s.worker(t)
 	s.mu.Unlock()
 	s.countOp(id, op, nil)
+	if op != "fork" { // fork is recorded by ForkTenant with its parent
+		s.rec.Record(obs.Event{Kind: obs.EvtCreate, Tenant: id, Op: op})
+	}
 	s.publishGauges()
 	return nil
 }
@@ -310,6 +341,7 @@ func (s *Server) CloseTenant(id string) error {
 	<-t.done
 	t.sys.Flush()
 	s.countOp(id, "close", nil)
+	s.rec.Record(obs.Event{Kind: obs.EvtClose, Tenant: id, Op: "close"})
 	s.publishGauges()
 	return nil
 }
@@ -414,7 +446,7 @@ func (s *Server) LoadState(dir string) error {
 		if err != nil {
 			return err
 		}
-		sys, _, err := anubis.OpenImage(cfg, f)
+		sys, rep, err := anubis.OpenImage(cfg, f)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("serve: reattaching tenant %q: %w", e.ID, err)
@@ -422,10 +454,13 @@ func (s *Server) LoadState(dir string) error {
 		if err := s.add(e.ID, rtc, cfg, anubis.Wrap(sys), "open"); err != nil {
 			return err
 		}
+		phases := recLedgerFromMap(rep.Phases)
 		s.tel.Update(func(r *obs.Registry) {
 			r.Counter("anubis_serve_recoveries_total", 1)
-			r.Counter(fmt.Sprintf("anubis_serve_tenant_recoveries_total{tenant=%q}", e.ID), 1)
+			r.Counter(obs.Label("anubis_serve_tenant_recoveries_total", "tenant", e.ID), 1)
+			r.MergeRecLedger("anubis_serve_recovery_phase_ns_total", &phases)
 		})
+		s.rec.Record(obs.Event{Kind: obs.EvtRecover, Tenant: e.ID, Op: "open", DurNS: rep.ModeledNS, Phases: phases})
 	}
 	return nil
 }
@@ -447,6 +482,7 @@ func (s *Server) worker(t *tenant) {
 				case tk := <-t.tasks:
 					tk.reply <- ErrTenantClosed
 				default:
+					s.rec.Record(obs.Event{Kind: obs.EvtDrain, Tenant: t.id})
 					return
 				}
 			}
@@ -508,6 +544,7 @@ func (s *Server) do(id, op string, write bool, fn func(sys *anubis.SafeSystem) e
 	tk := task{fn: fn, reply: make(chan error, 1)}
 	select {
 	case t.tasks <- tk:
+		s.rec.Record(obs.Event{Kind: obs.EvtEnqueue, Tenant: id, Op: op})
 	default:
 		return s.shed(id, op, "queue", time.Second)
 	}
@@ -523,9 +560,17 @@ func (s *Server) do(id, op string, write bool, fn func(sys *anubis.SafeSystem) e
 		}
 	}
 	s.countOp(id, op, err)
+	wall := uint64(time.Since(start).Nanoseconds())
 	s.tel.Update(func(r *obs.Registry) {
-		r.Observe(fmt.Sprintf("anubis_serve_op_wall_ns{op=%q}", op), uint64(time.Since(start).Nanoseconds()))
+		r.Observe(obs.Label("anubis_serve_op_wall_ns", "op", op), wall)
 	})
+	if s.rec != nil {
+		e := obs.Event{Kind: obs.EvtExec, Tenant: id, Op: op, DurNS: wall}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		s.rec.Record(e)
+	}
 	return err
 }
 
@@ -546,17 +591,18 @@ func retryAfter(drainNS uint64) time.Duration {
 func (s *Server) shed(id, op, reason string, retry time.Duration) error {
 	s.tel.Update(func(r *obs.Registry) {
 		r.Counter("anubis_serve_shed_total", 1)
-		r.Counter(fmt.Sprintf("anubis_serve_tenant_shed_total{tenant=%q,reason=%q}", id, reason), 1)
+		r.Counter(obs.Label("anubis_serve_tenant_shed_total", "tenant", id, "reason", reason), 1)
 	})
+	s.rec.Record(obs.Event{Kind: obs.EvtShed, Tenant: id, Op: op, Reason: reason})
 	return &ShedError{Tenant: id, Reason: reason, RetryAfter: retry}
 }
 
 func (s *Server) countOp(id, op string, err error) {
 	s.tel.Update(func(r *obs.Registry) {
 		r.Counter("anubis_serve_requests_total", 1)
-		r.Counter(fmt.Sprintf("anubis_serve_tenant_requests_total{tenant=%q,op=%q}", id, op), 1)
+		r.Counter(obs.Label("anubis_serve_tenant_requests_total", "tenant", id, "op", op), 1)
 		if err != nil {
-			r.Counter(fmt.Sprintf("anubis_serve_tenant_errors_total{tenant=%q,op=%q}", id, op), 1)
+			r.Counter(obs.Label("anubis_serve_tenant_errors_total", "tenant", id, "op", op), 1)
 		}
 	})
 }
@@ -567,7 +613,7 @@ func (s *Server) countBytes(id, dir string, n int) {
 	}
 	s.tel.Update(func(r *obs.Registry) {
 		r.Counter("anubis_serve_bytes_total", uint64(n))
-		r.Counter(fmt.Sprintf("anubis_serve_tenant_bytes_total{tenant=%q,dir=%q}", id, dir), uint64(n))
+		r.Counter(obs.Label("anubis_serve_tenant_bytes_total", "tenant", id, "dir", dir), uint64(n))
 	})
 }
 
@@ -654,10 +700,14 @@ func (s *Server) Flush(id string) error {
 // Crash power-fails one tenant. Its subsequent requests fail with
 // anubis.ErrCrashed until Recover; every other tenant is untouched.
 func (s *Server) Crash(id string) error {
-	return s.Do(id, "crash", func(sys *anubis.SafeSystem) error {
+	err := s.Do(id, "crash", func(sys *anubis.SafeSystem) error {
 		sys.Crash()
 		return nil
 	})
+	if err == nil {
+		s.rec.Record(obs.Event{Kind: obs.EvtCrash, Tenant: id, Op: "crash"})
+	}
+	return err
 }
 
 // Recover runs the tenant's recovery algorithm and counts it.
@@ -669,10 +719,13 @@ func (s *Server) Recover(id string) (anubis.RecoveryReport, error) {
 		return err
 	})
 	if err == nil {
+		phases := recLedgerFromMap(rep.Phases)
 		s.tel.Update(func(r *obs.Registry) {
 			r.Counter("anubis_serve_recoveries_total", 1)
-			r.Counter(fmt.Sprintf("anubis_serve_tenant_recoveries_total{tenant=%q}", id), 1)
+			r.Counter(obs.Label("anubis_serve_tenant_recoveries_total", "tenant", id), 1)
+			r.MergeRecLedger("anubis_serve_recovery_phase_ns_total", &phases)
 		})
+		s.rec.Record(obs.Event{Kind: obs.EvtRecover, Tenant: id, Op: "recover", DurNS: rep.ModeledNS, Phases: phases})
 	}
 	return rep, err
 }
@@ -685,6 +738,14 @@ func (s *Server) Audit(id string) (anubis.AuditReport, error) {
 		rep, err = sys.Audit()
 		return err
 	})
+	if s.rec != nil {
+		e := obs.Event{Kind: obs.EvtAudit, Tenant: id, Op: "audit",
+			Reason: fmt.Sprintf("violations=%d", len(rep.Violations))}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		s.rec.Record(e)
+	}
 	return rep, err
 }
 

@@ -43,6 +43,12 @@ type report struct {
 	// normalizes it to ns/request for scale-independent comparison.
 	Attribution       map[string]uint64 `json:"attribution_ns"`
 	RequestsSimulated uint64            `json:"requests_simulated"`
+
+	// RecoveryPhases (schema_version >= 3): per-phase recovery-time
+	// ledger summed over the recovery-sweep trials; RecoveryTrials
+	// normalizes it to ns/trial.
+	RecoveryPhases map[string]uint64 `json:"recovery_phase_ns"`
+	RecoveryTrials uint64            `json:"recovery_trials"`
 }
 
 func load(path string) (*report, error) {
@@ -72,6 +78,8 @@ func main() {
 		"fail (exit 1) if any stall component's simulated ns/request grows by more than this percent (0 = report only); simulated time is deterministic, so tight thresholds are safe")
 	minAttrNS := flag.Float64("min-attr-ns", 1.0,
 		"ignore attribution components below this many ns/request in both reports (relative drift on near-zero components is noise)")
+	maxPhaseRegress := flag.Float64("max-recovery-phase-regress", 0,
+		"fail (exit 1) if any recovery phase's simulated ns/trial grows by more than this percent (0 = report only); skipped silently when either report predates schema_version 3")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: bench_compare [-max-regress pct] OLD.json NEW.json")
@@ -123,6 +131,7 @@ func main() {
 	fmt.Printf("\n  %-28s %12.1f %12.1f\n", "total", oldRep.TotalWallMS, newRep.TotalWallMS)
 
 	worstAttr := compareAttribution(oldRep, newRep, *minAttrNS)
+	worstPhase := compareRecoveryPhases(oldRep, newRep)
 
 	if *epochSweep {
 		if !compareEpochSweep(oldRep, newRep) {
@@ -158,6 +167,11 @@ func main() {
 	if *maxAttrRegress > 0 && worstAttr > *maxAttrRegress {
 		fmt.Fprintf(os.Stderr, "bench_compare: worst attribution regression %.1f%% exceeds -max-attr-regress %.1f%%\n",
 			worstAttr, *maxAttrRegress)
+		failed = true
+	}
+	if *maxPhaseRegress > 0 && worstPhase > *maxPhaseRegress {
+		fmt.Fprintf(os.Stderr, "bench_compare: worst recovery-phase regression %.1f%% exceeds -max-recovery-phase-regress %.1f%%\n",
+			worstPhase, *maxPhaseRegress)
 		failed = true
 	}
 	if failed {
@@ -502,6 +516,46 @@ func compareExactMetrics(oldRep, newRep *report) bool {
 		}
 	}
 	return ok
+}
+
+// compareRecoveryPhases diffs the per-phase recovery-time ledgers of
+// two reports, normalized to simulated ns per recovery trial, and
+// returns the worst percentage increase. Reports lacking phase data
+// (schema_version < 3, or runs that skipped the recovery sweep) are
+// skipped silently, mirroring the attribution gate.
+func compareRecoveryPhases(oldRep, newRep *report) float64 {
+	if len(oldRep.RecoveryPhases) == 0 || len(newRep.RecoveryPhases) == 0 ||
+		oldRep.RecoveryTrials == 0 || newRep.RecoveryTrials == 0 {
+		return 0
+	}
+	names := make([]string, 0, len(newRep.RecoveryPhases))
+	for name := range newRep.RecoveryPhases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("\n  recovery-phase attribution (simulated ns/trial; deterministic for a fixed seed)\n")
+	fmt.Printf("  %-28s %12s %12s %9s\n", "phase", "old ns/trl", "new ns/trl", "delta")
+	worst := 0.0
+	for _, name := range names {
+		oldNS := float64(oldRep.RecoveryPhases[name]) / float64(oldRep.RecoveryTrials)
+		newNS := float64(newRep.RecoveryPhases[name]) / float64(newRep.RecoveryTrials)
+		if oldNS == 0 && newNS == 0 {
+			continue
+		}
+		delta := 0.0
+		switch {
+		case oldNS > 0:
+			delta = (newNS - oldNS) / oldNS * 100
+		case newNS > 0:
+			delta = 100 // phase appeared from zero
+		}
+		if delta > worst {
+			worst = delta
+		}
+		fmt.Printf("  %-28s %12.1f %12.1f %+8.1f%%\n", name, oldNS, newNS, delta)
+	}
+	return worst
 }
 
 // compareAttribution diffs the per-component stall ledgers of two

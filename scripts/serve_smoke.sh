@@ -11,11 +11,16 @@
 #      write burst trips WPQ back-pressure with 429 + Retry-After.
 #   3. Both shed families and the in-process recovery show up in
 #      /metrics.
-#   4. SIGTERM flushes and saves every tenant; a restarted server
-#      reattaches all 8 through recovery and every tenant audits clean.
+#   4. The dashboard (/dash), its JSON feed, and the flight recorder
+#      (/debug/events) serve live observability for all of the above.
+#   5. SIGTERM flushes and saves every tenant (dumping the event log to
+#      the state dir); a restarted server reattaches all 8 through
+#      recovery and every tenant audits clean.
 #
 # Ports are overridable for parallel CI runs:
 #   SERVE_SMOKE_ADDR=127.0.0.1:18080 SERVE_SMOKE_METRICS=127.0.0.1:19090
+# Set SERVE_SMOKE_ARTIFACTS to a directory to keep the dashboard HTML
+# snapshot and the shutdown event-log dump (CI uploads them).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,14 +32,20 @@ cleanup() {
   [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
   rm -rf "$TMP"
 }
-trap cleanup EXIT
+# EXIT covers normal bash termination; INT/TERM make an interrupted CI
+# run (or a ^C at the terminal) reap the server and the temp state dir
+# too instead of leaking them.
+trap cleanup EXIT INT TERM
 
 go build -o "$TMP/anubis-serve" ./cmd/anubis-serve
 go build -o "$TMP/kvstore" ./examples/kvstore
 
 start_server() {
+  # -events 65536: the 8×400-request workload generates ~10k events, so
+  # the default 4096-entry ring would have rotated t3's mid-workload
+  # crash/recover out before step 4 reads the tail.
   "$TMP/anubis-serve" -addr "$API" -metrics-addr "$MET" \
-    -state-dir "$TMP/state" -max-tenants 8 >>"$TMP/serve.log" 2>&1 &
+    -state-dir "$TMP/state" -max-tenants 8 -events 65536 >>"$TMP/serve.log" 2>&1 &
   SRV_PID=$!
   for _ in $(seq 1 100); do
     if curl -fsS "http://$API/healthz" >/dev/null 2>&1; then return 0; fi
@@ -95,11 +106,38 @@ echo "$metrics" | grep -q 'anubis_serve_tenant_shed_total{tenant="t0",reason="wp
 echo "$metrics" | grep -q 'anubis_serve_tenant_recoveries_total{tenant="t3"}' ||
   { echo "FAIL: t3 recovery not in /metrics" >&2; exit 1; }
 
-# --- 4: graceful shutdown, restart, audit-clean reattach --------------------
+# --- 4: dashboard and flight recorder serve the run live --------------------
+dash=$(curl -fsS "http://$MET/dash")
+for marker in 'anubis dashboard' 'id="tenants"' 'id="phases"' 'id="events"' '/debug/dash.json'; do
+  echo "$dash" | grep -qF "$marker" ||
+    { echo "FAIL: /dash missing marker $marker" >&2; exit 1; }
+done
+curl -fsS "http://$MET/debug/dash.json" |
+  python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["counters"] and d["recorder_total"] > 0, d.keys()' ||
+  { echo "FAIL: /debug/dash.json unparseable or empty" >&2; exit 1; }
+events=$(curl -fsS "http://$MET/debug/events")
+# Herestrings, not `echo | grep -q`: grep -q exits at the first match,
+# and under pipefail echo's resulting SIGPIPE would read as a failure.
+sed -n 1p <<<"$events" | python3 -c 'import json,sys; e=json.loads(sys.stdin.read()); assert "kind" in e and "seq" in e, e' ||
+  { echo "FAIL: /debug/events first line is not an event object" >&2; exit 1; }
+grep -q '"kind":"recover"' <<<"$events" ||
+  { echo "FAIL: t3 recovery never reached the flight recorder" >&2; exit 1; }
+grep -q '"kind":"shed"' <<<"$events" ||
+  { echo "FAIL: sheds never reached the flight recorder" >&2; exit 1; }
+if [ -n "${SERVE_SMOKE_ARTIFACTS:-}" ]; then
+  mkdir -p "$SERVE_SMOKE_ARTIFACTS"
+  echo "$dash" > "$SERVE_SMOKE_ARTIFACTS/dash.html"
+fi
+
+# --- 5: graceful shutdown, restart, audit-clean reattach --------------------
 kill -TERM "$SRV_PID"
 wait "$SRV_PID"
 SRV_PID=
 [ -f "$TMP/state/manifest.json" ] || { echo "FAIL: no manifest saved on shutdown" >&2; exit 1; }
+[ -s "$TMP/state/events.jsonl" ] || { echo "FAIL: no event-log dump saved on shutdown" >&2; exit 1; }
+if [ -n "${SERVE_SMOKE_ARTIFACTS:-}" ]; then
+  cp "$TMP/state/events.jsonl" "$SERVE_SMOKE_ARTIFACTS/events.jsonl"
+fi
 
 start_server
 count=$(curl -fsS "http://$API/tenants" | grep -o '"t[0-9]*"' | wc -l)
@@ -113,4 +151,5 @@ wait "$SRV_PID"
 SRV_PID=
 
 echo "serve smoke ✓ 8 tenants served, t3 crash-recovered mid-workload," \
-  "quota+wpq sheds returned 429 and were counted, restart audited clean"
+  "quota+wpq sheds returned 429 and were counted, dashboard+flight" \
+  "recorder live, event log dumped on SIGTERM, restart audited clean"
